@@ -1,0 +1,251 @@
+// Command elastisim runs one batch-system simulation from a platform and a
+// workload description and reports batch metrics.
+//
+// Usage:
+//
+//	elastisim -platform cluster.json -workload jobs.json [-algorithm adaptive]
+//	          [-interval 0] [-jobs-csv jobs.csv] [-util-csv util.csv]
+//	          [-gantt gantt.json] [-trace] [-v]
+//
+// The platform and workload JSON formats are documented in the README;
+// `elastisim -print-formats` prints commented examples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/elastisim"
+	"repro/internal/extsched"
+	"repro/internal/unit"
+)
+
+func main() {
+	var (
+		platformPath = flag.String("platform", "", "platform JSON file (required)")
+		workloadPath = flag.String("workload", "", "workload JSON file (required unless -swf)")
+		swfPath      = flag.String("swf", "", "SWF trace instead of a JSON workload")
+		swfSpeed     = flag.Float64("swf-node-speed", 100e9, "node speed (flops/s) for SWF calibration")
+		swfCores     = flag.Int("swf-cores-per-node", 1, "cores per node for SWF processor counts")
+		swfMaxJobs   = flag.Int("swf-max-jobs", 0, "truncate the SWF trace (0 = all)")
+		swfMalleable = flag.Float64("swf-malleable", 0, "fraction of SWF jobs converted to malleable")
+		algoName     = flag.String("algorithm", "adaptive", "scheduling algorithm: "+strings.Join(elastisim.AlgorithmNames(), ", "))
+		external     = flag.String("external", "", "run an external scheduler process (command line) speaking the JSON stdio protocol; overrides -algorithm")
+		interval     = flag.Float64("interval", 0, "periodic scheduler invocation interval in seconds (0 = event-driven only)")
+		periodicOnly = flag.Bool("periodic-only", false, "disable event-driven invocations (requires -interval)")
+		jobsCSV      = flag.String("jobs-csv", "", "write per-job results CSV to this path")
+		utilCSV      = flag.String("util-csv", "", "write the busy-nodes timeline CSV to this path")
+		ganttJSON    = flag.String("gantt", "", "write allocation segments JSON to this path")
+		ganttSVG     = flag.String("gantt-svg", "", "write an SVG Gantt chart to this path")
+		utilSVG      = flag.String("util-svg", "", "write an SVG utilization plot to this path")
+		swfOut       = flag.String("swf-out", "", "export per-job results as an SWF trace to this path")
+		swfOutCores  = flag.Int("swf-out-cores", 1, "cores per node for -swf-out processor counts")
+		trace        = flag.Bool("trace", false, "print the engine event log")
+		verbose      = flag.Bool("v", false, "print per-job results")
+		printFormats = flag.Bool("print-formats", false, "print example platform and workload files and exit")
+	)
+	flag.Parse()
+
+	if *printFormats {
+		fmt.Print(formatExamples)
+		return
+	}
+	if *platformPath == "" || (*workloadPath == "" && *swfPath == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spec, err := elastisim.LoadPlatform(*platformPath)
+	if err != nil {
+		fatal(err)
+	}
+	var wl *elastisim.Workload
+	if *swfPath != "" {
+		wl, err = elastisim.LoadSWF(*swfPath, elastisim.SWFOptions{
+			NodeSpeed:         *swfSpeed,
+			CoresPerNode:      *swfCores,
+			MaxJobs:           *swfMaxJobs,
+			MaxNodes:          spec.TotalNodes(),
+			MalleableFraction: *swfMalleable,
+		})
+	} else {
+		wl, err = elastisim.LoadWorkload(*workloadPath, spec.TotalNodes())
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var algo elastisim.Algorithm
+	var extProc *extsched.Process
+	if *external != "" {
+		extProc, err = extsched.StartProcess(strings.Fields(*external))
+		if err != nil {
+			fatal(err)
+		}
+		algo = extProc
+	} else {
+		algo, err = elastisim.NewAlgorithm(*algoName)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	res, err := elastisim.Run(elastisim.Config{
+		Platform:  spec,
+		Workload:  wl,
+		Algorithm: algo,
+		Options: elastisim.Options{
+			InvocationInterval: *interval,
+			DisableEventDriven: *periodicOnly,
+			Trace:              *trace,
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if extProc != nil {
+		if cerr := extProc.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "warning: external scheduler:", cerr)
+		}
+	}
+
+	s := res.Summary
+	fmt.Printf("platform      %s (%d nodes)\n", spec.Name, spec.TotalNodes())
+	fmt.Printf("workload      %s (%d jobs)\n", wl.Name, len(wl.Jobs))
+	fmt.Printf("algorithm     %s\n", algo.Name())
+	fmt.Printf("makespan      %.1f s (%s)\n", s.Makespan, unit.FormatSeconds(s.Makespan))
+	fmt.Printf("utilization   %.1f%%\n", s.Utilization*100)
+	fmt.Printf("completed     %d (killed %d)\n", s.Completed, s.Killed)
+	fmt.Printf("mean wait     %.1f s   p95 %.1f s\n", s.MeanWait, s.P95Wait)
+	fmt.Printf("mean turnaround %.1f s\n", s.MeanTurnaround)
+	fmt.Printf("mean slowdown %.2f   max %.2f\n", s.MeanSlowdown, s.MaxSlowdown)
+	fmt.Printf("reconfigs     %d\n", s.Reconfigs)
+	fmt.Printf("sim events    %d in %v (%.0f events/s)\n",
+		res.Events, res.WallClock, float64(res.Events)/res.WallClock.Seconds())
+
+	if *verbose {
+		fmt.Println()
+		if err := res.Recorder.WriteJobsCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *trace {
+		fmt.Println()
+		for _, ev := range res.Trace {
+			fmt.Println(ev)
+		}
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+	if *jobsCSV != "" {
+		if err := writeFile(*jobsCSV, res.Recorder.WriteJobsCSV); err != nil {
+			fatal(err)
+		}
+	}
+	if *utilCSV != "" {
+		if err := writeFile(*utilCSV, func(w io.Writer) error {
+			return res.Recorder.BusyTimeline().WriteCSV(w, "busy_nodes")
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *ganttJSON != "" {
+		if err := writeFile(*ganttJSON, res.Recorder.WriteGanttJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if *ganttSVG != "" {
+		title := fmt.Sprintf("%s on %s (%s)", wl.Name, spec.Name, algo.Name())
+		if err := writeFile(*ganttSVG, func(w io.Writer) error {
+			return res.WriteGanttSVG(w, title)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *utilSVG != "" {
+		if err := writeFile(*utilSVG, func(w io.Writer) error {
+			return res.WriteUtilizationSVG(w, "cluster utilization")
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *swfOut != "" {
+		if err := writeFile(*swfOut, func(w io.Writer) error {
+			return res.Recorder.WriteSWF(w, *swfOutCores)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "elastisim:", err)
+	os.Exit(1)
+}
+
+// Both example documents below are valid files: paste them as-is.
+// Comment lines start with '#'; everything between the markers is JSON.
+const examplePlatform = `{
+  "name": "cluster",
+  "nodes": [{"count": 128, "speed": "100G"}],
+  "network": {
+    "topology": "star",
+    "link_bandwidth": "10G",
+    "latency": 1e-6
+  },
+  "pfs": {"read_bandwidth": "80G", "write_bandwidth": "60G"},
+  "burst_buffer": {
+    "kind": "node_local",
+    "read_bandwidth": "4G",
+    "write_bandwidth": "4G"
+  }
+}
+`
+
+const exampleWorkload = `{
+  "name": "demo",
+  "jobs": [{
+    "name": "sim0",
+    "type": "malleable",
+    "submit_time": 0,
+    "num_nodes_min": 4,
+    "num_nodes_max": 32,
+    "walltime": 7200,
+    "args": {"flops": "50T", "io": "8G"},
+    "reconfig_cost": "0.5 + io/(num_nodes_new*10G)",
+    "phases": [
+      {"name": "load", "tasks": [{"type": "read", "target": "pfs", "bytes": "io"}]},
+      {"name": "solve", "iterations": 50, "scheduling_point": true, "tasks": [
+        {"type": "compute", "flops": "flops/50 * (0.02 + 0.98/num_nodes)"},
+        {"type": "comm", "pattern": "allreduce", "bytes": "64M"}
+      ]},
+      {"name": "store", "tasks": [{"type": "write", "target": "pfs", "bytes": "io"}]}
+    ]
+  }]
+}
+`
+
+const formatExamples = `# Platform file (JSON). Quantities accept constant expressions
+# ("100G" = 1e11). Topology "star" or "backbone" (+ backbone_bandwidth);
+# burst_buffer is optional ("node_local" or "shared").
+` + examplePlatform + `
+# Workload file (JSON). Job types: rigid | moldable | malleable | evolving.
+# Cost models are numbers, expressions, or vectors ({"4": 1e12, "8": 6e11});
+# expression variables: num_nodes, total_nodes, iteration, iterations,
+# phase, walltime, plus the job's own args. Dependencies reference jobs by
+# name: "dependencies": ["sim0"].
+` + exampleWorkload

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"repro/elastisim"
+	"repro/internal/job"
+	"repro/internal/platform"
+)
+
+// The documents -print-formats shows must actually load and simulate: an
+// example that drifts out of sync with the formats is worse than none.
+func TestPrintedExamplesAreValid(t *testing.T) {
+	spec, err := platform.ParseSpec([]byte(examplePlatform))
+	if err != nil {
+		t.Fatalf("example platform invalid: %v", err)
+	}
+	wl, err := job.ParseWorkload([]byte(exampleWorkload), spec.TotalNodes())
+	if err != nil {
+		t.Fatalf("example workload invalid: %v", err)
+	}
+	res, err := elastisim.Run(elastisim.Config{
+		Platform:  spec,
+		Workload:  wl,
+		Algorithm: elastisim.NewAdaptive(),
+	})
+	if err != nil {
+		t.Fatalf("example simulation failed: %v", err)
+	}
+	if res.Summary.Completed != 1 {
+		t.Errorf("example job did not complete: %+v", res.Summary)
+	}
+}

@@ -1,0 +1,108 @@
+// Command expreport regenerates every experiment of the reconstructed
+// evaluation (E1–E8 plus the ablations) and prints the tables, optionally
+// as markdown for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	expreport                # all experiments, plain tables
+//	expreport -only E2,E3    # a subset
+//	expreport -markdown      # markdown output
+//	expreport -jobs 150      # workload size for the batch experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 7, "workload seed")
+		jobs     = flag.Int("jobs", 150, "job count for the batch experiments")
+		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of plain tables")
+	)
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	emit := func(t *experiments.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "expreport:", err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Print(t.Markdown())
+		} else {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+	}
+
+	if want("E1") {
+		t, _, _, err := experiments.E1Utilization(*seed, *jobs)
+		emit(t, err)
+	}
+	if want("E2") {
+		t, _, err := experiments.E2MalleableShare(*seed, *jobs)
+		emit(t, err)
+	}
+	if want("E3") {
+		t, _, err := experiments.E3Schedulers(*seed, *jobs)
+		emit(t, err)
+	}
+	if want("E4") {
+		t, _, _, err := experiments.E4BurstBuffer(*seed, *jobs/3)
+		emit(t, err)
+	}
+	if want("E5") {
+		t, err := experiments.E5Scalability(*seed)
+		emit(t, err)
+	}
+	if want("E6") {
+		t, _, err := experiments.E6Validation()
+		emit(t, err)
+	}
+	if want("E7") {
+		t, _, err := experiments.E7Evolving(*seed)
+		emit(t, err)
+	}
+	if want("E8") {
+		t, _, err := experiments.E8ReconfigCost(*seed, *jobs)
+		emit(t, err)
+	}
+	if want("E9") {
+		t, _, err := experiments.E9Topology(*seed, *jobs)
+		emit(t, err)
+	}
+	if want("A1") {
+		t, err := experiments.AblationInvocation(*seed, *jobs)
+		emit(t, err)
+	}
+	if want("A2") {
+		t, err := experiments.AblationFairness(*seed, *jobs/3)
+		emit(t, err)
+	}
+	if want("A3") {
+		t, err := experiments.AblationMoldable(*seed, *jobs)
+		emit(t, err)
+	}
+	if want("A4") {
+		t, err := experiments.AblationFairShare(*seed, *jobs)
+		emit(t, err)
+	}
+	if want("A5") {
+		t, err := experiments.AblationFastPath(*seed)
+		emit(t, err)
+	}
+}

@@ -1,0 +1,36 @@
+// Command extalgo is a reference external scheduling algorithm: it speaks
+// the simulator's JSON-over-stdio protocol (see internal/extsched) and
+// answers with one of the built-in policies. It exists to demonstrate and
+// test out-of-process scheduling:
+//
+//	elastisim -platform p.json -workload w.json \
+//	          -external "./extalgo -algorithm easy"
+//
+// Writing the same loop in Python or any other language only requires
+// reading one JSON object per line from stdin and writing one back.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/elastisim"
+	"repro/internal/extsched"
+)
+
+func main() {
+	algoName := flag.String("algorithm", "fcfs",
+		"policy to serve: "+strings.Join(elastisim.AlgorithmNames(), ", "))
+	flag.Parse()
+	algo, err := elastisim.NewAlgorithm(*algoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "extalgo:", err)
+		os.Exit(2)
+	}
+	if err := extsched.Serve(algo, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "extalgo:", err)
+		os.Exit(1)
+	}
+}

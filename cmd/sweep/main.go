@@ -1,0 +1,61 @@
+// Command sweep runs a parameter-grid study (algorithms × malleable
+// shares × seeds) and emits one CSV row per cell, ready for external
+// plotting.
+//
+// Usage:
+//
+//	sweep -algorithms fcfs,easy,adaptive -shares 0,0.25,0.5,0.75,1 \
+//	      -seeds 1,2,3 -jobs 150 > grid.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		algorithms = flag.String("algorithms", "fcfs,easy,adaptive", "comma-separated algorithm names")
+		shares     = flag.String("shares", "0,0.5,1", "comma-separated malleable shares in [0,1]")
+		seeds      = flag.String("seeds", "1", "comma-separated workload seeds")
+		jobs       = flag.Int("jobs", 100, "jobs per run")
+		nodes      = flag.Int("nodes", 128, "machine size")
+	)
+	flag.Parse()
+
+	cfg := experiments.SweepConfig{Jobs: *jobs, Nodes: *nodes}
+	cfg.Algorithms = strings.Split(*algorithms, ",")
+	for _, s := range strings.Split(*shares, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v < 0 || v > 1 {
+			fatal(fmt.Errorf("bad share %q", s))
+		}
+		cfg.Shares = append(cfg.Shares, v)
+	}
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad seed %q", s))
+		}
+		cfg.Seeds = append(cfg.Seeds, v)
+	}
+
+	pts, err := experiments.Sweep(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteSweepCSV(os.Stdout, pts); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells\n", len(pts))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Command workinfo summarizes a workload file: job counts by type and
+// user, allocation histogram, arrival intensity, and adaptivity features.
+//
+// Usage:
+//
+//	workinfo -workload jobs.json [-machine-nodes 1024]
+//	workinfo -swf trace.swf -swf-node-speed 100e9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/elastisim"
+)
+
+func main() {
+	var (
+		workloadPath = flag.String("workload", "", "workload JSON file")
+		swfPath      = flag.String("swf", "", "SWF trace instead of JSON")
+		swfSpeed     = flag.Float64("swf-node-speed", 100e9, "node speed for SWF calibration")
+		swfCores     = flag.Int("swf-cores-per-node", 1, "cores per node for SWF")
+		nodes        = flag.Int("machine-nodes", 1<<20, "machine size used for validation")
+	)
+	flag.Parse()
+	if *workloadPath == "" && *swfPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var (
+		wl  *elastisim.Workload
+		err error
+	)
+	if *swfPath != "" {
+		wl, err = elastisim.LoadSWF(*swfPath, elastisim.SWFOptions{
+			NodeSpeed:    *swfSpeed,
+			CoresPerNode: *swfCores,
+		})
+	} else {
+		wl, err = elastisim.LoadWorkload(*workloadPath, *nodes)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workinfo:", err)
+		os.Exit(1)
+	}
+	stats := wl.Stats()
+	stats.Fprint(os.Stdout, wl.Name)
+}

@@ -1,0 +1,293 @@
+// Package elastisim is the public API of the ElastiSim reproduction: a
+// batch-system simulator for malleable workloads.
+//
+// A simulation couples three ingredients:
+//
+//   - a platform (PlatformSpec): compute nodes, network, parallel file
+//     system, and optional burst buffers;
+//   - a workload (Workload): rigid, moldable, malleable, and evolving jobs
+//     whose behaviour is described by phase/task application models with
+//     performance-model expressions;
+//   - a scheduling algorithm (Algorithm): either one of the built-ins
+//     (FCFS, EASY and conservative backfilling, SJF, and the
+//     malleability-aware adaptive policy) or user code implementing the
+//     Algorithm interface.
+//
+// Minimal use:
+//
+//	spec := elastisim.HomogeneousPlatform("cluster", 128, 100e9, 10e9, 80e9, 60e9)
+//	wl, _ := elastisim.GenerateWorkload(elastisim.WorkloadConfig{ ... })
+//	res, err := elastisim.Run(elastisim.Config{
+//		Platform:  spec,
+//		Workload:  wl,
+//		Algorithm: elastisim.NewAdaptive(),
+//	})
+//	fmt.Println(res.Summary.Makespan, res.Summary.Utilization)
+package elastisim
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/viz"
+)
+
+// Re-exported model types. The underlying packages are internal; these
+// aliases are the supported surface.
+type (
+	// PlatformSpec describes the simulated cluster.
+	PlatformSpec = platform.Spec
+	// NodeGroupSpec describes a homogeneous group of nodes.
+	NodeGroupSpec = platform.NodeGroupSpec
+	// NetworkSpec describes the interconnect.
+	NetworkSpec = platform.NetworkSpec
+	// StorageSpec describes the PFS.
+	StorageSpec = platform.StorageSpec
+	// BurstBufferSpec describes the burst-buffer tier.
+	BurstBufferSpec = platform.BurstBufferSpec
+
+	// Workload is an ordered collection of jobs.
+	Workload = job.Workload
+	// Job is one workload entry.
+	Job = job.Job
+	// Application is a job's phase/task behaviour model.
+	Application = job.Application
+	// Phase is a stage of an application.
+	Phase = job.Phase
+	// Task is one step of a phase.
+	Task = job.Task
+	// Model is a performance model (expression or vector).
+	Model = job.Model
+	// WorkloadConfig drives the synthetic workload generator.
+	WorkloadConfig = job.Config
+
+	// Algorithm is the scheduling-policy interface.
+	Algorithm = sched.Algorithm
+	// Invocation is the cluster snapshot an Algorithm schedules against.
+	Invocation = sched.Invocation
+	// JobView is a read-only job snapshot inside an Invocation.
+	JobView = sched.JobView
+	// Decision is one scheduling action.
+	Decision = sched.Decision
+
+	// Options tunes engine behaviour (invocation interval, tracing, ...).
+	Options = core.Options
+	// Summary aggregates a finished run.
+	Summary = metrics.Summary
+	// JobRecord is the per-job outcome.
+	JobRecord = metrics.JobRecord
+	// Recorder holds the full metric state of a run.
+	Recorder = metrics.Recorder
+	// Timeline is a step function of time (utilization, queue depth).
+	Timeline = metrics.Timeline
+	// TraceEvent is one entry of the engine's optional event log.
+	TraceEvent = core.TraceEvent
+)
+
+// Job type classes, re-exported.
+const (
+	Rigid     = job.Rigid
+	Moldable  = job.Moldable
+	Malleable = job.Malleable
+	Evolving  = job.Evolving
+)
+
+// Config assembles one simulation run.
+type Config struct {
+	// Platform describes the cluster.
+	Platform *PlatformSpec
+	// Workload lists the jobs.
+	Workload *Workload
+	// Algorithm is the scheduling policy (see NewAlgorithm for built-ins).
+	Algorithm Algorithm
+	// Options tunes the engine.
+	Options Options
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Summary aggregates batch metrics (makespan, waits, utilization...).
+	Summary Summary
+	// Records lists per-job outcomes in submission order.
+	Records []*JobRecord
+	// Recorder exposes timelines, Gantt segments, and CSV/JSON export.
+	Recorder *Recorder
+	// Invocations and Decisions count scheduler activity; Events counts
+	// simulator events (for simulator-performance experiments).
+	Invocations uint64
+	Decisions   uint64
+	Events      uint64
+	// Warnings lists rejected decisions and other anomalies.
+	Warnings []string
+	// Trace is the event log (when Options.Trace was set).
+	Trace []TraceEvent
+	// WallClock is the host time the simulation took.
+	WallClock time.Duration
+}
+
+// Run executes one simulation to completion.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Platform == nil || cfg.Workload == nil {
+		return nil, fmt.Errorf("elastisim: config needs a platform and a workload")
+	}
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("elastisim: config needs a scheduling algorithm")
+	}
+	eng, err := core.New(cfg.Platform, cfg.Workload, cfg.Algorithm, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	begin := time.Now()
+	rec, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Summary:     rec.Summary(),
+		Records:     rec.Records(),
+		Recorder:    rec,
+		Invocations: eng.Invocations(),
+		Decisions:   eng.DecisionsApplied(),
+		Events:      eng.Steps(),
+		Warnings:    eng.Warnings(),
+		Trace:       eng.Trace(),
+		WallClock:   time.Since(begin),
+	}, nil
+}
+
+// WriteGanttSVG renders the run's allocation segments as an SVG Gantt
+// chart (one colored band per job, reconfigurations visible as width
+// changes).
+func (r *Result) WriteGanttSVG(w io.Writer, title string) error {
+	return viz.Gantt(w, r.Recorder.Gantt(), r.Recorder.TotalNodes(), viz.Options{Title: title})
+}
+
+// WriteUtilizationSVG renders the busy-nodes timeline as an SVG step plot.
+func (r *Result) WriteUtilizationSVG(w io.Writer, title string) error {
+	return viz.Timeline(w, r.Recorder.BusyTimeline(), "busy nodes",
+		float64(r.Recorder.TotalNodes()), viz.Options{Title: title})
+}
+
+// EstimateRuntime computes a job's contention-free analytic runtime on n
+// nodes (see the job package's estimator for assumptions).
+func EstimateRuntime(j *Job, n int, ref job.PlatformRef) (float64, error) {
+	return job.EstimateRuntime(j, n, ref)
+}
+
+// PlatformRef carries the magnitudes EstimateRuntime needs (re-export).
+type PlatformRef = job.PlatformRef
+
+// HomogeneousPlatform builds a uniform cluster: nodes at nodeSpeed flops/s,
+// star network with linkBW bytes/s injection links, and a PFS with the
+// given aggregate read/write bandwidths.
+func HomogeneousPlatform(name string, nodes int, nodeSpeed, linkBW, pfsRead, pfsWrite float64) *PlatformSpec {
+	return platform.Homogeneous(name, nodes, nodeSpeed, linkBW, pfsRead, pfsWrite)
+}
+
+// LoadPlatform reads and validates a JSON platform description.
+func LoadPlatform(path string) (*PlatformSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return platform.ParseSpec(data)
+}
+
+// LoadWorkload reads and validates a JSON workload for a machine of
+// totalNodes nodes.
+func LoadWorkload(path string, totalNodes int) (*Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return job.ParseWorkload(data, totalNodes)
+}
+
+// GenerateWorkload builds a reproducible synthetic workload.
+func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
+	return job.Generate(cfg)
+}
+
+// LoadSWF converts a Standard Workload Format trace into a workload.
+func LoadSWF(path string, opts job.SWFOptions) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return job.ParseSWF(f, opts)
+}
+
+// SWFOptions configures SWF conversion (re-export).
+type SWFOptions = job.SWFOptions
+
+// Built-in algorithm constructors.
+
+// NewFCFS returns strict first-come-first-served.
+func NewFCFS() Algorithm { return &sched.FCFS{} }
+
+// NewEASY returns EASY backfilling.
+func NewEASY() Algorithm { return &sched.EASY{} }
+
+// NewConservative returns conservative backfilling.
+func NewConservative() Algorithm { return &sched.Conservative{} }
+
+// NewSJF returns shortest-job-first.
+func NewSJF() Algorithm { return &sched.SJF{} }
+
+// NewAdaptive returns the malleability-aware policy (EASY starts +
+// shrink-to-admit + expand-to-fill + evolving arbitration).
+func NewAdaptive() Algorithm { return &sched.Adaptive{} }
+
+// NewFirstFit returns list scheduling (start whatever fits, no
+// reservations) — the baseline that motivates backfilling.
+func NewFirstFit() Algorithm { return &sched.FirstFit{} }
+
+// NewFairShare returns usage-ordered scheduling with EASY backfilling:
+// users with less accumulated consumption go first. The returned value is
+// stateful and must be used for a single simulation run.
+func NewFairShare() Algorithm { return &sched.FairShare{} }
+
+// NewPacked returns EASY with locality-packed placement: start decisions
+// are pinned to node sets spanning as few leaf switches as possible
+// (meaningful on tree topologies).
+func NewPacked() Algorithm { return &sched.Packed{Base: &sched.EASY{}} }
+
+// algorithmFactories maps names to constructors for NewAlgorithm.
+var algorithmFactories = map[string]func() Algorithm{
+	"fcfs":         NewFCFS,
+	"easy":         NewEASY,
+	"conservative": NewConservative,
+	"sjf":          NewSJF,
+	"adaptive":     NewAdaptive,
+	"firstfit":     NewFirstFit,
+	"fairshare":    NewFairShare,
+	"packed":       NewPacked,
+}
+
+// NewAlgorithm builds a built-in algorithm by name; see AlgorithmNames.
+func NewAlgorithm(name string) (Algorithm, error) {
+	f, ok := algorithmFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("elastisim: unknown algorithm %q (have %v)", name, AlgorithmNames())
+	}
+	return f(), nil
+}
+
+// AlgorithmNames lists the built-in algorithms.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(algorithmFactories))
+	for n := range algorithmFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

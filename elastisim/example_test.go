@@ -1,0 +1,124 @@
+package elastisim_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/elastisim"
+	"repro/internal/job"
+)
+
+// Example demonstrates the minimal end-to-end flow: build a platform,
+// describe one job, run, and read the summary.
+func Example() {
+	platform := elastisim.HomogeneousPlatform("demo", 8, 1e9, 1e9, 2e9, 2e9)
+	solver := &elastisim.Job{
+		Name: "solver", Type: elastisim.Rigid, NumNodes: 4,
+		Args: map[string]float64{"flops": 1e12},
+		App: &elastisim.Application{Phases: []elastisim.Phase{{
+			Tasks: []elastisim.Task{{
+				Kind:  job.TaskCompute,
+				Model: job.MustExprModel("flops / num_nodes"),
+			}},
+		}}},
+	}
+	workload := &elastisim.Workload{Jobs: []*elastisim.Job{solver}}
+	workload.Sort()
+
+	result, err := elastisim.Run(elastisim.Config{
+		Platform:  platform,
+		Workload:  workload,
+		Algorithm: elastisim.NewFCFS(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("makespan %.0f s, utilization %.0f%%\n",
+		result.Summary.Makespan, result.Summary.Utilization*100)
+	// Output: makespan 250 s, utilization 50%
+}
+
+// ExampleEstimateRuntime shows the analytic estimator agreeing with the
+// simulation for an uncontended job.
+func ExampleEstimateRuntime() {
+	j := &elastisim.Job{
+		Name: "j", Type: elastisim.Moldable, NumNodesMin: 1, NumNodesMax: 16, NumNodes: 4,
+		Args: map[string]float64{"flops": 1e12},
+		App: &elastisim.Application{Phases: []elastisim.Phase{{
+			Tasks: []elastisim.Task{{
+				Kind:  job.TaskCompute,
+				Model: job.MustExprModel("flops / num_nodes"),
+			}},
+		}}},
+	}
+	ref := elastisim.PlatformRef{NodeSpeed: 1e9, LinkBW: 1e9, PFSReadBW: 2e9, PFSWriteBW: 2e9}
+	for _, n := range []int{1, 4, 16} {
+		est, _ := elastisim.EstimateRuntime(j, n, ref)
+		fmt.Printf("%2d nodes: %.1f s\n", n, est)
+	}
+	// Output:
+	//  1 nodes: 1000.0 s
+	//  4 nodes: 250.0 s
+	// 16 nodes: 62.5 s
+}
+
+func TestResultSVGWriters(t *testing.T) {
+	platform := elastisim.HomogeneousPlatform("x", 8, 1e9, 1e9, 2e9, 2e9)
+	wl, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+		Seed: 1, Count: 10,
+		Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: 0.1},
+		Nodes:        [2]int{1, 4},
+		MachineNodes: 8,
+		NodeSpeed:    1e9,
+		TypeShares:   map[job.Type]float64{job.Malleable: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := elastisim.Run(elastisim.Config{
+		Platform: platform, Workload: wl, Algorithm: elastisim.NewAdaptive(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gantt, util bytes.Buffer
+	if err := res.WriteGanttSVG(&gantt, "gantt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteUtilizationSVG(&util, "util"); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"gantt": &gantt, "util": &util} {
+		s := buf.String()
+		if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "</svg>") {
+			t.Errorf("%s output is not SVG", name)
+		}
+	}
+}
+
+// The JSON files shipped under examples/data must stay loadable and
+// simulate cleanly — they are the CLI quickstart.
+func TestShippedDataFiles(t *testing.T) {
+	spec, err := elastisim.LoadPlatform("../examples/data/platform.json")
+	if err != nil {
+		t.Fatalf("shipped platform invalid: %v", err)
+	}
+	wl, err := elastisim.LoadWorkload("../examples/data/workload.json", spec.TotalNodes())
+	if err != nil {
+		t.Fatalf("shipped workload invalid: %v", err)
+	}
+	res, err := elastisim.Run(elastisim.Config{
+		Platform: spec, Workload: wl, Algorithm: elastisim.NewAdaptive(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Completed != len(wl.Jobs) {
+		t.Errorf("completed %d/%d", res.Summary.Completed, len(wl.Jobs))
+	}
+	if res.Summary.Reconfigs == 0 {
+		t.Error("demo workload should exercise reconfiguration")
+	}
+}

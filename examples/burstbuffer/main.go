@@ -1,0 +1,70 @@
+// Burst-buffer offloading: an I/O-heavy checkpointing workload writes its
+// checkpoints either to the shared parallel file system (contended) or to
+// node-local burst buffers (contention-free), reproducing experiment E4 at
+// example scale.
+//
+// Run with: go run ./examples/burstbuffer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/elastisim"
+	"repro/internal/job"
+	"repro/internal/platform"
+)
+
+func main() {
+	spec := elastisim.HomogeneousPlatform("cluster", 128, 100e9, 10e9, 80e9, 60e9)
+	spec.BurstBuffer = &platform.BurstBufferSpec{
+		Kind:           platform.BBNodeLocal,
+		ReadBandwidth:  4e9,
+		WriteBandwidth: 4e9,
+	}
+
+	checkpointProfile := []job.Profile{{
+		Name: "ckpt", Weight: 1, Kind: job.ProfileIOBound,
+		Iterations:     [2]int{5, 15},
+		ComputeSecs:    [2]float64{20, 60},
+		IOBytes:        [2]float64{64e9, 256e9},
+		SerialFraction: [2]float64{0.01, 0.05},
+	}}
+
+	run := func(target job.IOTarget) elastisim.Summary {
+		workload, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+			Name:             "ckpt-" + string(target),
+			Seed:             7,
+			Count:            50,
+			Arrival:          job.Arrival{Kind: job.ArrivalPoisson, Rate: 1.0 / 25},
+			Nodes:            [2]int{2, 32},
+			MachineNodes:     128,
+			NodeSpeed:        100e9,
+			Profiles:         checkpointProfile,
+			CheckpointTarget: target,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		result, err := elastisim.Run(elastisim.Config{
+			Platform:  spec,
+			Workload:  workload,
+			Algorithm: elastisim.NewEASY(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return result.Summary
+	}
+
+	pfs := run(job.TargetPFS)
+	bb := run(job.TargetBB)
+
+	fmt.Println("checkpoint target  makespan    mean_turnaround  utilization")
+	fmt.Println("-----------------  ----------  ---------------  -----------")
+	fmt.Printf("%-17s  %9.1fs  %14.1fs  %10.1f%%\n", "pfs (shared)", pfs.Makespan, pfs.MeanTurnaround, pfs.Utilization*100)
+	fmt.Printf("%-17s  %9.1fs  %14.1fs  %10.1f%%\n", "burst buffer", bb.Makespan, bb.MeanTurnaround, bb.Utilization*100)
+	fmt.Printf("\nmakespan improvement: %.1f%%\n", 100*(pfs.Makespan-bb.Makespan)/pfs.Makespan)
+	fmt.Println("Node-local burst buffers absorb checkpoint bursts that would")
+	fmt.Println("otherwise contend on the PFS write path.")
+}

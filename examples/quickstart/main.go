@@ -1,0 +1,89 @@
+// Quickstart: simulate a small cluster running a hand-written workload of
+// one rigid and one malleable job, and print what happened.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/elastisim"
+	"repro/internal/job"
+)
+
+func main() {
+	// A 16-node cluster: 100 Gflop/s nodes, 10 GB/s links, 40 GB/s PFS.
+	platform := elastisim.HomogeneousPlatform("demo", 16, 100e9, 10e9, 40e9, 40e9)
+
+	// A malleable solver: read input, iterate (compute + allreduce) with
+	// scheduling points, write output. The compute model is Amdahl-limited
+	// with a 2% serial fraction.
+	solver := &elastisim.Job{
+		Name: "solver", Type: elastisim.Malleable,
+		NumNodesMin: 2, NumNodesMax: 16, NumNodes: 4,
+		SubmitTime: 0,
+		Args: map[string]float64{
+			"flops_iter": 2e13, // per-iteration work
+			"io":         20e9, // input/output volume
+		},
+		ReconfigCost: job.MustExprModel("0.5 + io/(num_nodes_new*10G)"),
+		App: &elastisim.Application{Phases: []elastisim.Phase{
+			{Name: "load", Tasks: []elastisim.Task{
+				{Kind: job.TaskRead, Model: job.MustExprModel("io"), Target: job.TargetPFS},
+			}},
+			{Name: "solve", Iterations: 40, SchedulingPoint: true, Tasks: []elastisim.Task{
+				{Kind: job.TaskCompute, Model: job.MustExprModel("flops_iter * (0.02 + 0.98/num_nodes)")},
+				{Kind: job.TaskComm, Model: job.MustExprModel("64M"), Pattern: job.PatternAllReduce},
+			}},
+			{Name: "store", Tasks: []elastisim.Task{
+				{Kind: job.TaskWrite, Model: job.MustExprModel("io"), Target: job.TargetPFS},
+			}},
+		}},
+	}
+
+	// A rigid 8-node job arriving two minutes in: the adaptive scheduler
+	// shrinks the solver at its next scheduling point to admit it.
+	batch := &elastisim.Job{
+		Name: "batch", Type: elastisim.Rigid,
+		NumNodes: 8, SubmitTime: 120, WallTimeLimit: 3600,
+		Args: map[string]float64{"flops": 2e14},
+		App: &elastisim.Application{Phases: []elastisim.Phase{{
+			Tasks: []elastisim.Task{
+				{Kind: job.TaskCompute, Model: job.MustExprModel("flops / num_nodes")},
+			},
+		}}},
+	}
+
+	workload := &elastisim.Workload{Name: "quickstart", Jobs: []*elastisim.Job{solver, batch}}
+	workload.Sort()
+
+	result, err := elastisim.Run(elastisim.Config{
+		Platform:  platform,
+		Workload:  workload,
+		Algorithm: elastisim.NewAdaptive(),
+		Options:   elastisim.Options{Trace: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("makespan     %.1f s\n", result.Summary.Makespan)
+	fmt.Printf("utilization  %.1f%%\n", result.Summary.Utilization*100)
+	fmt.Printf("reconfigs    %d\n\n", result.Summary.Reconfigs)
+	for _, r := range result.Records {
+		fmt.Printf("%-8s wait %6.1f s  runtime %7.1f s  nodes %d->%d (peak %d, %d reconfigs)\n",
+			r.Name, r.Wait(), r.Runtime(), r.InitialNodes, r.FinalNodes, r.PeakNodes, r.Reconfigs)
+	}
+
+	fmt.Println("\nevent log:")
+	for _, ev := range result.Trace {
+		fmt.Println(" ", ev)
+	}
+
+	fmt.Println("\nallocation timeline (busy nodes):")
+	if err := result.Recorder.BusyTimeline().WriteCSV(os.Stdout, "busy"); err != nil {
+		log.Fatal(err)
+	}
+}

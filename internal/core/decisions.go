@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// apply validates and executes one scheduling decision. Errors mean the
+// decision was rejected with no side effects.
+func (e *Engine) apply(d sched.Decision) error {
+	jr, ok := e.runs[d.Job]
+	if !ok {
+		return fmt.Errorf("unknown job %d", d.Job)
+	}
+	switch d.Kind {
+	case sched.DecisionStart:
+		return e.applyStart(jr, d.NumNodes, d.Nodes)
+	case sched.DecisionResize:
+		return e.applyResizeDecision(jr, d.NumNodes)
+	case sched.DecisionGrant:
+		return e.applyGrant(jr, d.NumNodes)
+	case sched.DecisionDeny:
+		return e.applyDeny(jr)
+	case sched.DecisionKill:
+		return e.applyKill(jr)
+	default:
+		return fmt.Errorf("unknown decision kind %v", d.Kind)
+	}
+}
+
+func (e *Engine) applyStart(jr *jobRun, n int, pinned []int) error {
+	if jr.state != statePending {
+		return fmt.Errorf("job %s is %s, not pending", jr.job.Label(), jr.state)
+	}
+	j := jr.job
+	if len(pinned) > 0 && n == 0 {
+		n = len(pinned)
+	}
+	if j.Type == job.Rigid {
+		if n != j.NumNodes {
+			return fmt.Errorf("rigid job %s started with %d nodes, requested %d", j.Label(), n, j.NumNodes)
+		}
+	} else if n < j.MinNodes() || n > j.MaxNodes() {
+		return fmt.Errorf("job %s started with %d nodes outside [%d,%d]", j.Label(), n, j.MinNodes(), j.MaxNodes())
+	}
+	if n > e.alloc.Free() {
+		return fmt.Errorf("job %s needs %d nodes, only %d free", j.Label(), n, e.alloc.Free())
+	}
+	var nodes []platform.NodeID
+	if len(pinned) > 0 {
+		// Explicit placement: the algorithm names the nodes.
+		if len(pinned) != n {
+			return fmt.Errorf("job %s: %d pinned nodes but num_nodes %d", j.Label(), len(pinned), n)
+		}
+		nodes = make([]platform.NodeID, 0, n)
+		for _, id := range pinned {
+			if id < 0 || id >= e.alloc.Total() {
+				return fmt.Errorf("job %s: pinned node %d out of range", j.Label(), id)
+			}
+			nodes = append(nodes, platform.NodeID(id))
+		}
+		if err := e.alloc.AllocateNodes(ownerKey(j.ID), nodes); err != nil {
+			return fmt.Errorf("job %s: pinned placement: %w", j.Label(), err)
+		}
+	} else {
+		var err error
+		nodes, err = e.alloc.Allocate(ownerKey(j.ID), n)
+		if err != nil {
+			return err
+		}
+	}
+	e.removePending(jr)
+	e.start(jr, nodes)
+	return nil
+}
+
+func (e *Engine) applyResizeDecision(jr *jobRun, n int) error {
+	j := jr.job
+	if j.Type != job.Malleable {
+		return fmt.Errorf("job %s is %s; only malleable jobs accept scheduler resizes", j.Label(), j.Type)
+	}
+	if jr.state != stateAtSchedPoint {
+		return fmt.Errorf("job %s is not at a scheduling point", j.Label())
+	}
+	if n < j.MinNodes() || n > j.MaxNodes() {
+		return fmt.Errorf("resize of %s to %d outside [%d,%d]", j.Label(), n, j.MinNodes(), j.MaxNodes())
+	}
+	cur := len(jr.nodes)
+	if n == cur {
+		return nil // no-op resize
+	}
+	if grow := n - cur; grow > 0 && grow > e.alloc.Free() {
+		return fmt.Errorf("resize of %s to %d needs %d free nodes, have %d", j.Label(), n, grow, e.alloc.Free())
+	}
+	// Adjust the allocation immediately so nodes freed by a shrink are
+	// available to later decisions in the same invocation; the
+	// reconfiguration cost is charged when the job resumes.
+	e.adjustAllocation(jr, n)
+	jr.pendingResize = cur // remembers the old size for the cost model
+	return nil
+}
+
+func (e *Engine) applyGrant(jr *jobRun, n int) error {
+	j := jr.job
+	if j.Type != job.Evolving {
+		return fmt.Errorf("job %s is %s; grants answer evolving requests", j.Label(), j.Type)
+	}
+	if jr.evolvingRequest == 0 {
+		return fmt.Errorf("job %s has no outstanding evolving request", j.Label())
+	}
+	if n < j.MinNodes() || n > j.MaxNodes() {
+		return fmt.Errorf("grant of %d to %s outside [%d,%d]", n, j.Label(), j.MinNodes(), j.MaxNodes())
+	}
+	jr.grantedTarget = n
+	// The request is answered: clear it so later invocations do not see a
+	// stale outstanding request (and grant it twice).
+	jr.evolvingRequest = 0
+	e.traceEvent(EvGranted, j.ID, fmt.Sprintf("target=%d", n))
+	// If the job is paused at a scheduling point right now, the pending
+	// resume event will pick the grant up at this timestamp.
+	return nil
+}
+
+func (e *Engine) applyDeny(jr *jobRun) error {
+	if jr.job.Type != job.Evolving {
+		return fmt.Errorf("job %s is %s; deny answers evolving requests", jr.job.Label(), jr.job.Type)
+	}
+	if jr.evolvingRequest == 0 {
+		return fmt.Errorf("job %s has no outstanding evolving request", jr.job.Label())
+	}
+	jr.evolvingRequest = 0
+	jr.grantedTarget = 0
+	e.traceEvent(EvDenied, jr.job.ID, "")
+	return nil
+}
+
+func (e *Engine) applyKill(jr *jobRun) error {
+	switch jr.state {
+	case statePending, stateHeld:
+		if jr.state == statePending {
+			e.removePending(jr)
+		}
+		jr.state = stateDone
+		e.rec.JobAbandoned(jr.job.ID, e.Now())
+		e.traceEvent(EvFinish, jr.job.ID, "killed-pending")
+		e.outstanding--
+		e.markFinished(jr.job.ID)
+		return nil
+	case stateDone:
+		return fmt.Errorf("job %s already finished", jr.job.Label())
+	default:
+		e.kill(jr, true)
+		return nil
+	}
+}

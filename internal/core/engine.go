@@ -1,0 +1,334 @@
+// Package core implements the batch-system simulation engine — the
+// reproduction's primary contribution. It couples the platform model
+// (fluid resources), the workload model (jobs with phase/task
+// applications), and a scheduling algorithm into a deterministic
+// discrete-event simulation with first-class support for rigid, moldable,
+// malleable, and evolving jobs.
+//
+// The engine owns all mutable state. The scheduling algorithm only ever
+// sees read-only snapshots and answers with decisions, every one of which
+// is validated before being applied (node accounting, flexibility-class
+// rules, scheduling-point legality). Invalid decisions are dropped and
+// recorded as warnings, so buggy algorithms degrade loudly but safely.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/fluid"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// PriorityResume orders job-resume events after scheduler invocations at
+// the same timestamp, so that a job pausing at a scheduling point gives the
+// algorithm a chance to reconfigure it before it continues.
+const PriorityResume = des.PriorityScheduler + 10
+
+// Options tune engine behaviour.
+type Options struct {
+	// InvocationInterval adds periodic scheduler invocations every given
+	// number of seconds (0 = purely event-driven).
+	InvocationInterval float64
+	// EventDriven disables event-triggered invocations when false is NOT
+	// what you want — it defaults to true; set DisableEventDriven to turn
+	// them off (ablation: periodic-only scheduling).
+	DisableEventDriven bool
+	// Fairness selects the fluid sharing policy (ablation).
+	Fairness fluid.Fairness
+	// Trace enables the event log (memory-proportional to event count).
+	Trace bool
+	// TraceTasks additionally logs every task start/end with its phase,
+	// iteration, kind, and duration — the raw material for calibrating
+	// application models. Implies substantial log volume; requires Trace.
+	TraceTasks bool
+	// Horizon aborts the simulation at this virtual time (0 = none).
+	Horizon float64
+	// DisableFastPath forces every task through the fluid solver, even
+	// work on job-private resources (own nodes, own links) that cannot
+	// contend and whose duration is therefore a closed form. The fast
+	// path is exactly equivalent (tested) and much cheaper on large
+	// machines; this switch exists for the equivalence tests and the
+	// simulator-performance ablation.
+	DisableFastPath bool
+}
+
+// Engine is a single-run batch-system simulator. Create with New, run with
+// Run, inspect with Recorder/Summary. An Engine is not reusable.
+type Engine struct {
+	kernel *des.Kernel
+	pool   *fluid.Pool
+	plat   *platform.Platform
+	alloc  *platform.Allocator
+	algo   sched.Algorithm
+	opts   Options
+	rec    *metrics.Recorder
+
+	workload *job.Workload
+	runs     map[job.ID]*jobRun
+	queue    []*jobRun // pending, submission order
+	running  []*jobRun // start order
+
+	// Dependency tracking: finished marks completed/killed jobs,
+	// dependents maps a job to the held jobs waiting on it.
+	finished   map[job.ID]bool
+	dependents map[job.ID][]*jobRun
+
+	invocationScheduled bool
+	pendingReasons      sched.Reason
+	invocations         uint64
+	decisionsApplied    uint64
+	warnings            []string
+	trace               []TraceEvent
+	outstanding         int // jobs not yet finished
+	ran                 bool
+}
+
+// New builds an engine for one simulation run. The workload must already
+// validate against the platform.
+func New(spec *platform.Spec, w *job.Workload, algo sched.Algorithm, opts Options) (*Engine, error) {
+	if algo == nil {
+		return nil, fmt.Errorf("core: nil scheduling algorithm")
+	}
+	kernel := des.NewKernel()
+	pool := fluid.NewPool(kernel)
+	pool.SetFairness(opts.Fairness)
+	plat, err := platform.Build(spec, pool)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Validate(plat.NumNodes()); err != nil {
+		return nil, err
+	}
+	for _, j := range w.Jobs {
+		if err := checkPlatformSupport(plat, j); err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{
+		kernel:     kernel,
+		pool:       pool,
+		plat:       plat,
+		alloc:      platform.NewAllocator(plat.NumNodes()),
+		algo:       algo,
+		opts:       opts,
+		rec:        metrics.NewRecorder(plat.NumNodes()),
+		workload:   w,
+		runs:       make(map[job.ID]*jobRun, len(w.Jobs)),
+		finished:   make(map[job.ID]bool),
+		dependents: make(map[job.ID][]*jobRun),
+	}
+	return e, nil
+}
+
+// checkPlatformSupport rejects workloads using storage tiers the platform
+// does not provide; failing early beats a mid-simulation panic.
+func checkPlatformSupport(plat *platform.Platform, j *job.Job) error {
+	for pi := range j.App.Phases {
+		for ti := range j.App.Phases[pi].Tasks {
+			t := &j.App.Phases[pi].Tasks[ti]
+			switch t.Kind {
+			case job.TaskRead, job.TaskWrite:
+				if t.Target == job.TargetPFS && !plat.HasPFS() {
+					return fmt.Errorf("core: job %s uses the PFS but the platform has none", j.Label())
+				}
+				if t.Target == job.TargetBB && !plat.HasBurstBuffer() {
+					return fmt.Errorf("core: job %s uses burst buffers but the platform has none", j.Label())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the simulation to completion and returns the metrics
+// recorder. It may only be called once.
+func (e *Engine) Run() (*metrics.Recorder, error) {
+	if e.ran {
+		return nil, fmt.Errorf("core: engine already ran")
+	}
+	e.ran = true
+	e.outstanding = len(e.workload.Jobs)
+	for _, j := range e.workload.Jobs {
+		jj := j
+		e.kernel.Schedule(des.Time(j.SubmitTime), des.PriorityEngine, func() {
+			e.submit(jj)
+		})
+	}
+	if e.opts.InvocationInterval > 0 && e.outstanding > 0 {
+		e.schedulePeriodic()
+	}
+	if e.opts.Horizon > 0 {
+		e.kernel.SetHorizon(des.Time(e.opts.Horizon))
+	}
+	if err := e.kernel.Run(); err != nil && err != des.ErrHalted {
+		return nil, err
+	}
+	if e.outstanding > 0 && e.opts.Horizon == 0 {
+		return nil, fmt.Errorf("core: simulation deadlocked with %d unfinished jobs (algorithm %q never started them?)", e.outstanding, e.algo.Name())
+	}
+	return e.rec, nil
+}
+
+// Recorder returns the metrics recorder (valid after Run).
+func (e *Engine) Recorder() *metrics.Recorder { return e.rec }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return float64(e.kernel.Now()) }
+
+// Steps returns the number of kernel events executed.
+func (e *Engine) Steps() uint64 { return e.kernel.Steps() }
+
+// Invocations returns how many times the algorithm was invoked.
+func (e *Engine) Invocations() uint64 { return e.invocations }
+
+// DecisionsApplied returns how many decisions passed validation.
+func (e *Engine) DecisionsApplied() uint64 { return e.decisionsApplied }
+
+// Warnings lists rejected decisions and other non-fatal anomalies.
+func (e *Engine) Warnings() []string { return e.warnings }
+
+// Trace returns the event log (empty unless Options.Trace).
+func (e *Engine) Trace() []TraceEvent { return e.trace }
+
+// Platform exposes the built platform (read-only use).
+func (e *Engine) Platform() *platform.Platform { return e.plat }
+
+func (e *Engine) warnf(format string, args ...any) {
+	e.warnings = append(e.warnings, fmt.Sprintf("t=%.3f: ", e.Now())+fmt.Sprintf(format, args...))
+}
+
+// submit registers a job. Jobs with unfinished dependencies are held;
+// the rest enter the pending queue immediately.
+func (e *Engine) submit(j *job.Job) {
+	jr := &jobRun{job: j, state: statePending, grantedTarget: 0}
+	e.runs[j.ID] = jr
+	e.rec.JobSubmitted(j, e.Now())
+	e.traceEvent(EvSubmit, j.ID, fmt.Sprintf("type=%s", j.Type))
+	for _, dep := range j.Dependencies {
+		if !e.finished[dep] {
+			jr.depsLeft++
+			e.dependents[dep] = append(e.dependents[dep], jr)
+		}
+	}
+	if jr.depsLeft > 0 {
+		jr.state = stateHeld
+		e.traceEvent(EvHeld, j.ID, fmt.Sprintf("deps=%d", jr.depsLeft))
+		return
+	}
+	e.queue = append(e.queue, jr)
+	e.requestInvocation(sched.ReasonSubmit)
+}
+
+// markFinished records a terminal job and releases dependents whose last
+// dependency this was ("afterany": killed jobs satisfy dependencies too).
+func (e *Engine) markFinished(id job.ID) {
+	e.finished[id] = true
+	for _, jr := range e.dependents[id] {
+		jr.depsLeft--
+		if jr.depsLeft == 0 && jr.state == stateHeld {
+			jr.state = statePending
+			e.queue = append(e.queue, jr)
+			e.traceEvent(EvReleased, jr.job.ID, "")
+			e.requestInvocation(sched.ReasonSubmit)
+		}
+	}
+	delete(e.dependents, id)
+}
+
+// schedulePeriodic arms the next periodic invocation while work remains.
+func (e *Engine) schedulePeriodic() {
+	e.kernel.ScheduleAfter(des.Time(e.opts.InvocationInterval), des.PriorityScheduler, func() {
+		if e.outstanding == 0 {
+			return
+		}
+		e.pendingReasons |= sched.ReasonPeriodic
+		e.invoke()
+		e.schedulePeriodic()
+	})
+}
+
+// requestInvocation coalesces event-driven scheduler invocations: all
+// triggers at one timestamp yield a single invocation that runs after
+// activity completions (priority ordering).
+func (e *Engine) requestInvocation(reason sched.Reason) {
+	e.pendingReasons |= reason
+	if e.opts.DisableEventDriven {
+		return
+	}
+	if e.invocationScheduled {
+		return
+	}
+	e.invocationScheduled = true
+	e.kernel.ScheduleAfter(0, des.PriorityScheduler, func() {
+		e.invocationScheduled = false
+		e.invoke()
+	})
+}
+
+// invoke snapshots the state, runs the algorithm, applies its decisions.
+func (e *Engine) invoke() {
+	reasons := e.pendingReasons
+	e.pendingReasons = 0
+	inv := e.snapshot(reasons)
+	e.invocations++
+	decisions := e.algo.Schedule(inv)
+	for _, d := range decisions {
+		if err := e.apply(d); err != nil {
+			e.warnf("rejected %v: %v", d, err)
+			continue
+		}
+		e.decisionsApplied++
+	}
+}
+
+// snapshot builds the read-only invocation view.
+func (e *Engine) snapshot(reasons sched.Reason) *sched.Invocation {
+	inv := &sched.Invocation{
+		Now:        e.Now(),
+		Reasons:    reasons,
+		FreeNodes:  e.alloc.Free(),
+		TotalNodes: e.alloc.Total(),
+	}
+	for _, id := range e.alloc.FreeNodes() {
+		inv.FreeList = append(inv.FreeList, int(id))
+	}
+	if e.plat.IsTree() {
+		inv.GroupSize = e.plat.Spec().Network.GroupSize
+	}
+	for _, jr := range e.queue {
+		inv.Pending = append(inv.Pending, e.view(jr))
+	}
+	for _, jr := range e.running {
+		inv.Running = append(inv.Running, e.view(jr))
+	}
+	return inv
+}
+
+func (e *Engine) view(jr *jobRun) *sched.JobView {
+	v := &sched.JobView{
+		ID:         jr.job.ID,
+		Job:        jr.job,
+		SubmitTime: jr.job.SubmitTime,
+	}
+	switch jr.state {
+	case statePending:
+		v.State = sched.StatePending
+	default:
+		v.State = sched.StateRunning
+		v.Nodes = len(jr.nodes)
+		v.StartTime = jr.startTime
+		v.AtSchedulingPoint = jr.state == stateAtSchedPoint
+		v.EvolvingRequest = jr.evolvingRequest
+		if jr.job.WallTimeLimit > 0 {
+			v.ExpectedEnd = jr.startTime + jr.job.WallTimeLimit
+		} else {
+			v.ExpectedEnd = math.Inf(1)
+		}
+	}
+	return v
+}

@@ -1,0 +1,632 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/expr"
+	"repro/internal/fluid"
+	"repro/internal/job"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// jobState is the engine-internal lifecycle state of a job.
+type jobState int
+
+const (
+	stateHeld    jobState = iota // submitted, waiting on dependencies
+	statePending                 // schedulable
+	stateRunning
+	stateAtSchedPoint  // paused at a scheduling point, waiting for resume
+	stateReconfiguring // paying the reconfiguration cost
+	stateDone
+)
+
+func (s jobState) String() string {
+	switch s {
+	case stateHeld:
+		return "held"
+	case statePending:
+		return "pending"
+	case stateRunning:
+		return "running"
+	case stateAtSchedPoint:
+		return "at-scheduling-point"
+	case stateReconfiguring:
+		return "reconfiguring"
+	case stateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("jobState(%d)", int(s))
+	}
+}
+
+// jobRun is the mutable execution state of one job.
+type jobRun struct {
+	job   *job.Job
+	state jobState
+
+	nodes     []platform.NodeID
+	startTime float64
+
+	// Program counter over the application model.
+	phaseIdx int
+	iter     int
+	taskIdx  int
+
+	// In-flight work: exactly one of activity/timer is set while running.
+	activity *fluid.Activity
+	timer    *des.Event
+
+	// Walltime enforcement.
+	killEvent *des.Event
+
+	// Evolving support: outstanding request and granted-but-unapplied
+	// target (applied at the next scheduling point).
+	evolvingRequest int
+	grantedTarget   int
+
+	// pendingResize holds the PREVIOUS allocation size after a scheduler
+	// resize was applied at the current scheduling point (0 = none); the
+	// reconfiguration cost is charged when the job resumes.
+	pendingResize int
+
+	// Gantt bookkeeping.
+	segStart float64
+
+	// depsLeft counts unfinished dependencies; the job is held until it
+	// reaches zero.
+	depsLeft int
+
+	argsEnv expr.Vars // job args, fixed
+}
+
+func (jr *jobRun) phase() *job.Phase { return &jr.job.App.Phases[jr.phaseIdx] }
+func (jr *jobRun) task() *job.Task   { return &jr.phase().Tasks[jr.taskIdx] }
+
+// env builds the expression environment for the job's current position.
+func (e *Engine) env(jr *jobRun) expr.Env {
+	p := jr.phase()
+	base := expr.Vars{
+		"num_nodes":   float64(len(jr.nodes)),
+		"total_nodes": float64(e.alloc.Total()),
+		"iteration":   float64(jr.iter),
+		"iterations":  float64(p.EffectiveIterations()),
+		"phase":       float64(jr.phaseIdx),
+		"walltime":    jr.job.WallTimeLimit,
+	}
+	if jr.argsEnv == nil {
+		jr.argsEnv = expr.Vars{}
+		for k, v := range jr.job.Args {
+			jr.argsEnv[k] = v
+		}
+	}
+	return expr.ChainEnv{jr.argsEnv, base}
+}
+
+// start launches a pending job on the given allocation.
+func (e *Engine) start(jr *jobRun, nodes []platform.NodeID) {
+	now := e.Now()
+	jr.nodes = nodes
+	jr.state = stateRunning
+	jr.startTime = now
+	jr.segStart = now
+	jr.phaseIdx, jr.iter, jr.taskIdx = 0, 0, 0
+	e.running = append(e.running, jr)
+	e.rec.JobStarted(jr.job.ID, now, len(nodes))
+	e.traceEvent(EvStart, jr.job.ID, fmt.Sprintf("nodes=%d", len(nodes)))
+	if jr.job.WallTimeLimit > 0 {
+		jr.killEvent = e.kernel.Schedule(des.Time(now+jr.job.WallTimeLimit), des.PriorityEngine, func() {
+			e.kill(jr, true)
+		})
+	}
+	e.startTask(jr)
+}
+
+// startTask dispatches the current task. Precondition: jr.state == running.
+func (e *Engine) startTask(jr *jobRun) {
+	t := jr.task()
+	n := len(jr.nodes)
+	magnitude, err := t.Model.Eval(e.env(jr), n)
+	if err != nil {
+		// Validation makes this unreachable; degrade to zero work.
+		e.warnf("job %s task %s model error: %v", jr.job.Label(), t.Kind, err)
+		magnitude = 0
+	}
+	if magnitude < 0 {
+		magnitude = 0
+	}
+	done := func() { e.taskDone(jr) }
+	if e.opts.Trace && e.opts.TraceTasks {
+		began := e.Now()
+		detail := fmt.Sprintf("phase=%d iter=%d task=%d kind=%s", jr.phaseIdx, jr.iter, jr.taskIdx, t.Kind)
+		e.traceEvent(EvTaskStart, jr.job.ID, detail)
+		inner := done
+		done = func() {
+			e.traceEvent(EvTaskEnd, jr.job.ID, fmt.Sprintf("%s dur=%.6f", detail, e.Now()-began))
+			inner()
+		}
+	}
+	switch t.Kind {
+	case job.TaskCompute:
+		// Nodes are exclusively allocated, so compute never contends: the
+		// duration is magnitude over the slowest node's speed. The fluid
+		// path below realizes exactly the same value.
+		if !e.opts.DisableFastPath {
+			e.completeAfter(jr, magnitude/e.minSpeed(jr), done)
+			return
+		}
+		a := fluid.NewActivity(fmt.Sprintf("%s.compute", jr.job.Label()), magnitude, done)
+		for _, id := range jr.nodes {
+			a.AddUsage(e.plat.Compute(id), 1)
+		}
+		jr.activity = a
+		e.pool.Start(a)
+	case job.TaskDelay:
+		jr.timer = e.kernel.ScheduleAfter(des.Time(magnitude), des.PriorityEngine, done)
+	case job.TaskComm:
+		e.startComm(jr, t, magnitude, done)
+	case job.TaskRead, job.TaskWrite:
+		e.startIO(jr, t, magnitude, done)
+	case job.TaskEvolvingRequest:
+		e.registerEvolvingRequest(jr, magnitude)
+		// Asynchronous: the task completes immediately.
+		jr.timer = e.kernel.ScheduleAfter(0, des.PriorityEngine, done)
+	default:
+		e.warnf("job %s: unknown task kind %q", jr.job.Label(), t.Kind)
+		jr.timer = e.kernel.ScheduleAfter(0, des.PriorityEngine, done)
+	}
+}
+
+// startComm models a collective operation. The payload is scaled onto each
+// participant's injection link (and the backbone, if present) with
+// pattern-specific weights; the activity completes when the slowest
+// participant is done.
+func (e *Engine) startComm(jr *jobRun, t *job.Task, payload float64, done func()) {
+	n := len(jr.nodes)
+	if n <= 1 || payload <= 0 {
+		jr.timer = e.kernel.ScheduleAfter(0, des.PriorityEngine, done)
+		return
+	}
+	linkW, rootW, backboneW := job.CommWeights(t.Pattern, n)
+	// The slowest participant's link bounds the operation: the maximum of
+	// weight/capacity over participants is the per-payload-byte time.
+	linkBound := 0.0 // seconds per payload byte
+	for i, id := range jr.nodes {
+		w := linkW
+		if i == 0 {
+			w = rootW
+		}
+		if b := w / e.plat.Link(id).Capacity(); b > linkBound {
+			linkBound = b
+		}
+	}
+	// Collect the SHARED resources this collective crosses: per-group
+	// uplinks and the core (tree), or the backbone. The job's private
+	// links are handled either as explicit usages (full-fluid mode) or as
+	// a rate cap (fast path).
+	type sharedUsage struct {
+		res    *fluid.Resource
+		weight float64
+	}
+	var shared []sharedUsage
+	backbone := e.plat.Backbone()
+	if e.plat.IsTree() {
+		uplinkW, coreW := job.UplinkWeights(t.Pattern, n, e.plat.GroupCounts(jr.nodes))
+		groups := make([]int, 0, len(uplinkW))
+		for g := range uplinkW {
+			groups = append(groups, g)
+		}
+		sort.Ints(groups) // deterministic usage order
+		for _, g := range groups {
+			shared = append(shared, sharedUsage{e.plat.Uplink(g), uplinkW[g]})
+		}
+		if backbone != nil && coreW > 0 {
+			shared = append(shared, sharedUsage{backbone, coreW})
+		}
+	} else if backbone != nil && backboneW > 0 {
+		shared = append(shared, sharedUsage{backbone, backboneW})
+	}
+	if !e.opts.DisableFastPath && len(shared) == 0 {
+		// Only the job's own links are involved — no cross-job
+		// contention, closed-form duration.
+		e.completeAfter(jr, e.plat.Latency()+payload*linkBound, done)
+		return
+	}
+	begin := func() {
+		a := fluid.NewActivity(fmt.Sprintf("%s.%s", jr.job.Label(), t.Pattern), payload, done)
+		for _, u := range shared {
+			a.AddUsage(u.res, u.weight)
+		}
+		if !e.opts.DisableFastPath {
+			// The private links become a rate cap.
+			a.SetMaxRate(1 / linkBound)
+		} else {
+			for i, id := range jr.nodes {
+				w := linkW
+				if i == 0 {
+					w = rootW
+				}
+				a.AddUsage(e.plat.Link(id), w)
+			}
+		}
+		jr.activity = a
+		e.pool.Start(a)
+	}
+	if lat := e.plat.Latency(); lat > 0 {
+		jr.timer = e.kernel.ScheduleAfter(des.Time(lat), des.PriorityEngine, func() {
+			jr.timer = nil
+			begin()
+		})
+		return
+	}
+	begin()
+}
+
+// completeAfter finishes the current task after a closed-form duration.
+// The timer runs at activity priority so intra-timestamp ordering matches
+// the fluid path.
+func (e *Engine) completeAfter(jr *jobRun, seconds float64, done func()) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	jr.timer = e.kernel.ScheduleAfter(des.Time(seconds), des.PriorityActivity, done)
+}
+
+// minSpeed returns the slowest allocated node's compute speed.
+func (e *Engine) minSpeed(jr *jobRun) float64 {
+	speed := e.plat.Node(jr.nodes[0]).Speed
+	for _, id := range jr.nodes[1:] {
+		if s := e.plat.Node(id).Speed; s < speed {
+			speed = s
+		}
+	}
+	return speed
+}
+
+// minLinkCap returns the slowest allocated node's link bandwidth.
+func (e *Engine) minLinkCap(jr *jobRun) float64 {
+	cap0 := e.plat.Link(jr.nodes[0]).Capacity()
+	for _, id := range jr.nodes[1:] {
+		if c := e.plat.Link(id).Capacity(); c < cap0 {
+			cap0 = c
+		}
+	}
+	return cap0
+}
+
+// startIO models a parallel read/write of `total` bytes striped over the
+// allocation. PFS and shared burst buffers are single contended resources;
+// node-local burst buffers drain independently per node. PFS traffic also
+// loads each node's injection link with its 1/n share.
+func (e *Engine) startIO(jr *jobRun, t *job.Task, total float64, done func()) {
+	n := len(jr.nodes)
+	if total <= 0 {
+		jr.timer = e.kernel.ScheduleAfter(0, des.PriorityEngine, done)
+		return
+	}
+	fast := !e.opts.DisableFastPath
+	share := 1 / float64(n)
+	a := fluid.NewActivity(fmt.Sprintf("%s.%s", jr.job.Label(), t.Kind), total, done)
+	switch t.Target {
+	case job.TargetPFS:
+		var res *fluid.Resource
+		if t.Kind == job.TaskRead {
+			res = e.plat.PFSRead()
+		} else {
+			res = e.plat.PFSWrite()
+		}
+		a.AddUsage(res, 1)
+		e.addTreeIOUsages(a, jr)
+		if fast {
+			// Each node moves a 1/n share through its private link:
+			// aggregate cap n * slowest link.
+			a.SetMaxRate(float64(n) * e.minLinkCap(jr))
+		} else {
+			for _, id := range jr.nodes {
+				a.AddUsage(e.plat.Link(id), share)
+			}
+		}
+	case job.TargetBB:
+		if e.plat.BurstBufferKind() == platform.BBNodeLocal {
+			// Node-local buffers are private to the allocation: every node
+			// drains its 1/n share independently; the slowest bounds the
+			// task. No cross-job contention is possible, so the fluid
+			// solver is only needed when the fast path is disabled.
+			if fast {
+				minBB := e.minBBCap(jr, t.Kind == job.TaskRead)
+				e.completeAfter(jr, total/(float64(n)*minBB), done)
+				return
+			}
+			for _, id := range jr.nodes {
+				a.AddUsage(e.bbResource(id, t.Kind == job.TaskRead), share)
+			}
+		} else {
+			// Shared (network-attached) burst buffer: contended across
+			// jobs; traffic also crosses the private links.
+			a.AddUsage(e.bbResource(jr.nodes[0], t.Kind == job.TaskRead), 1)
+			e.addTreeIOUsages(a, jr)
+			if fast {
+				a.SetMaxRate(float64(n) * e.minLinkCap(jr))
+			} else {
+				for _, id := range jr.nodes {
+					a.AddUsage(e.plat.Link(id), share)
+				}
+			}
+		}
+	}
+	jr.activity = a
+	e.pool.Start(a)
+}
+
+// addTreeIOUsages routes PFS / shared-burst-buffer traffic over the tree
+// topology: each group's uplink carries its members' share of the bytes,
+// and everything crosses the core (the storage attaches there).
+func (e *Engine) addTreeIOUsages(a *fluid.Activity, jr *jobRun) {
+	if !e.plat.IsTree() {
+		return
+	}
+	n := float64(len(jr.nodes))
+	counts := e.plat.GroupCounts(jr.nodes)
+	groups := make([]int, 0, len(counts))
+	for g := range counts {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	for _, g := range groups {
+		a.AddUsage(e.plat.Uplink(g), float64(counts[g])/n)
+	}
+	if core := e.plat.Backbone(); core != nil {
+		a.AddUsage(core, 1)
+	}
+}
+
+func (e *Engine) bbResource(id platform.NodeID, read bool) *fluid.Resource {
+	if read {
+		return e.plat.BBRead(id)
+	}
+	return e.plat.BBWrite(id)
+}
+
+// minBBCap returns the slowest allocated node's burst-buffer bandwidth.
+func (e *Engine) minBBCap(jr *jobRun, read bool) float64 {
+	cap0 := e.bbResource(jr.nodes[0], read).Capacity()
+	for _, id := range jr.nodes[1:] {
+		if c := e.bbResource(id, read).Capacity(); c < cap0 {
+			cap0 = c
+		}
+	}
+	return cap0
+}
+
+// registerEvolvingRequest records the application's desired size and pokes
+// the scheduler.
+func (e *Engine) registerEvolvingRequest(jr *jobRun, desired float64) {
+	want := int(desired + 0.5)
+	minN, maxN := jr.job.MinNodes(), jr.job.MaxNodes()
+	if want < minN {
+		want = minN
+	}
+	if want > maxN {
+		want = maxN
+	}
+	if want == len(jr.nodes) && jr.grantedTarget == 0 {
+		return // nothing to ask for
+	}
+	if want == jr.evolvingRequest || want == jr.grantedTarget {
+		return // already outstanding or already granted
+	}
+	jr.evolvingRequest = want
+	e.traceEvent(EvEvolvingRequest, jr.job.ID, fmt.Sprintf("want=%d have=%d", want, len(jr.nodes)))
+	e.requestInvocation(sched.ReasonEvolvingRequest)
+}
+
+// taskDone advances the job's program counter.
+func (e *Engine) taskDone(jr *jobRun) {
+	jr.activity = nil
+	jr.timer = nil
+	if jr.state == stateDone {
+		return
+	}
+	jr.taskIdx++
+	if jr.taskIdx < len(jr.phase().Tasks) {
+		e.startTask(jr)
+		return
+	}
+	// Iteration finished.
+	jr.taskIdx = 0
+	jr.iter++
+	p := jr.phase()
+	if jr.iter < p.EffectiveIterations() {
+		if p.SchedulingPoint {
+			e.enterSchedulingPoint(jr)
+			return
+		}
+		e.startTask(jr)
+		return
+	}
+	// Phase finished. A scheduling point after the last iteration also
+	// fires, giving the scheduler one more reconfiguration opportunity
+	// before the next phase (matching the "between iterations" contract
+	// only within a phase would starve single-iteration phases).
+	jr.iter = 0
+	jr.phaseIdx++
+	if jr.phaseIdx < len(jr.job.App.Phases) {
+		if p.SchedulingPoint {
+			e.enterSchedulingPoint(jr)
+			return
+		}
+		e.startTask(jr)
+		return
+	}
+	e.finish(jr, false)
+}
+
+// enterSchedulingPoint pauses the job, pokes the scheduler, and arranges
+// resumption after the scheduler had its chance at this timestamp.
+func (e *Engine) enterSchedulingPoint(jr *jobRun) {
+	jr.state = stateAtSchedPoint
+	jr.pendingResize = 0
+	e.traceEvent(EvSchedulingPoint, jr.job.ID, fmt.Sprintf("phase=%d iter=%d", jr.phaseIdx, jr.iter))
+	e.requestInvocation(sched.ReasonSchedulingPoint)
+	e.kernel.ScheduleAfter(0, PriorityResume, func() {
+		e.resumeFromSchedulingPoint(jr)
+	})
+}
+
+// resumeFromSchedulingPoint charges any pending reconfiguration (scheduler
+// resize applied at decision time, or an evolving grant applied now) and
+// continues execution.
+func (e *Engine) resumeFromSchedulingPoint(jr *jobRun) {
+	if jr.state != stateAtSchedPoint {
+		return // killed meanwhile
+	}
+	oldSize := jr.pendingResize
+	jr.pendingResize = 0
+	if oldSize == 0 && jr.grantedTarget != 0 {
+		// Apply an evolving grant, bounded by what is free right now.
+		target := jr.grantedTarget
+		cur := len(jr.nodes)
+		if target > cur {
+			if maxGrow := cur + e.alloc.Free(); target > maxGrow {
+				target = maxGrow
+			}
+		}
+		jr.grantedTarget = 0
+		jr.evolvingRequest = 0
+		if target != 0 && target != cur {
+			e.traceEvent(EvGrantApplied, jr.job.ID, fmt.Sprintf("target=%d", target))
+			e.adjustAllocation(jr, target)
+			oldSize = cur
+		}
+	}
+	if oldSize != 0 && oldSize != len(jr.nodes) {
+		e.chargeReconfiguration(jr, oldSize)
+		return
+	}
+	jr.state = stateRunning
+	e.startTask(jr)
+}
+
+// adjustAllocation grows or shrinks a paused job's node set immediately.
+// Precondition: target is feasible (enough free nodes for growth).
+func (e *Engine) adjustAllocation(jr *jobRun, target int) {
+	now := e.Now()
+	cur := len(jr.nodes)
+	owner := ownerKey(jr.job.ID)
+	if target > cur {
+		added, err := e.alloc.Allocate(owner, target-cur)
+		if err != nil {
+			panic(fmt.Sprintf("core: validated expand of %s failed: %v", jr.job.Label(), err))
+		}
+		jr.nodes = append(jr.nodes, added...)
+	} else {
+		// Release the highest-numbered nodes.
+		platform.SortNodeIDs(jr.nodes)
+		released := jr.nodes[target:]
+		jr.nodes = jr.nodes[:target]
+		if err := e.alloc.Release(owner, released); err != nil {
+			panic(fmt.Sprintf("core: inconsistent allocation for %s: %v", jr.job.Label(), err))
+		}
+	}
+	e.rec.AddGantt(jr.job.ID, jr.job.Label(), cur, jr.segStart, now)
+	jr.segStart = now
+	e.rec.JobReconfigured(jr.job.ID, now, len(jr.nodes))
+	e.traceEvent(EvReconfigured, jr.job.ID, fmt.Sprintf("%d->%d", cur, target))
+}
+
+// chargeReconfiguration pays the job's reconfiguration cost (if any) and
+// resumes execution afterwards.
+func (e *Engine) chargeReconfiguration(jr *jobRun, oldSize int) {
+	cost := 0.0
+	if jr.job.ReconfigCost != nil {
+		env := expr.ChainEnv{
+			expr.Vars{"num_nodes_old": float64(oldSize), "num_nodes_new": float64(len(jr.nodes))},
+			e.env(jr),
+		}
+		v, err := jr.job.ReconfigCost.Eval(env, len(jr.nodes))
+		if err != nil {
+			e.warnf("job %s: reconfig cost error: %v", jr.job.Label(), err)
+		} else if v > 0 {
+			cost = v
+		}
+	}
+	if cost > 0 {
+		jr.state = stateReconfiguring
+		jr.timer = e.kernel.ScheduleAfter(des.Time(cost), des.PriorityEngine, func() {
+			jr.timer = nil
+			if jr.state != stateReconfiguring {
+				return
+			}
+			jr.state = stateRunning
+			e.startTask(jr)
+		})
+		return
+	}
+	jr.state = stateRunning
+	e.startTask(jr)
+}
+
+// finish completes a running job (killed = walltime exceeded).
+func (e *Engine) finish(jr *jobRun, killed bool) {
+	now := e.Now()
+	jr.state = stateDone
+	e.cancelWork(jr)
+	e.rec.AddGantt(jr.job.ID, jr.job.Label(), len(jr.nodes), jr.segStart, now)
+	if n := e.alloc.ReleaseAll(ownerKey(jr.job.ID)); n != len(jr.nodes) {
+		panic(fmt.Sprintf("core: job %s released %d nodes, held %d", jr.job.Label(), n, len(jr.nodes)))
+	}
+	jr.nodes = nil
+	e.removeRunning(jr)
+	e.rec.JobFinished(jr.job.ID, now, killed)
+	e.traceEvent(EvFinish, jr.job.ID, fmt.Sprintf("killed=%t", killed))
+	e.outstanding--
+	e.markFinished(jr.job.ID)
+	e.requestInvocation(sched.ReasonCompletion)
+}
+
+// kill terminates a running job at its walltime limit.
+func (e *Engine) kill(jr *jobRun, walltime bool) {
+	if jr.state == stateDone || jr.state == statePending {
+		return
+	}
+	e.finish(jr, walltime)
+}
+
+// cancelWork tears down in-flight activity, timers, and the kill event.
+func (e *Engine) cancelWork(jr *jobRun) {
+	if jr.activity != nil {
+		e.pool.Cancel(jr.activity)
+		jr.activity = nil
+	}
+	if jr.timer != nil {
+		e.kernel.Cancel(jr.timer)
+		jr.timer = nil
+	}
+	if jr.killEvent != nil {
+		e.kernel.Cancel(jr.killEvent)
+		jr.killEvent = nil
+	}
+}
+
+func (e *Engine) removeRunning(jr *jobRun) {
+	for i, r := range e.running {
+		if r == jr {
+			e.running = append(e.running[:i], e.running[i+1:]...)
+			return
+		}
+	}
+}
+
+func (e *Engine) removePending(jr *jobRun) {
+	for i, r := range e.queue {
+		if r == jr {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func ownerKey(id job.ID) string { return fmt.Sprintf("job%d", id) }

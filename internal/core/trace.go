@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+)
+
+// TraceEventKind labels entries of the engine's event log.
+type TraceEventKind string
+
+// Trace event kinds.
+const (
+	EvSubmit          TraceEventKind = "submit"
+	EvHeld            TraceEventKind = "held"
+	EvReleased        TraceEventKind = "released"
+	EvStart           TraceEventKind = "start"
+	EvFinish          TraceEventKind = "finish"
+	EvSchedulingPoint TraceEventKind = "scheduling-point"
+	EvReconfigured    TraceEventKind = "reconfigured"
+	EvEvolvingRequest TraceEventKind = "evolving-request"
+	EvGranted         TraceEventKind = "granted"
+	EvGrantApplied    TraceEventKind = "grant-applied"
+	EvDenied          TraceEventKind = "denied"
+	EvTaskStart       TraceEventKind = "task-start"
+	EvTaskEnd         TraceEventKind = "task-end"
+)
+
+// TraceEvent is one entry of the optional event log.
+type TraceEvent struct {
+	T      float64
+	Kind   TraceEventKind
+	Job    job.ID
+	Detail string
+}
+
+func (ev TraceEvent) String() string {
+	if ev.Detail == "" {
+		return fmt.Sprintf("%.3f %s job%d", ev.T, ev.Kind, ev.Job)
+	}
+	return fmt.Sprintf("%.3f %s job%d %s", ev.T, ev.Kind, ev.Job, ev.Detail)
+}
+
+func (e *Engine) traceEvent(kind TraceEventKind, id job.ID, detail string) {
+	if !e.opts.Trace {
+		return
+	}
+	e.trace = append(e.trace, TraceEvent{T: e.Now(), Kind: kind, Job: id, Detail: detail})
+}

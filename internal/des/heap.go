@@ -1,0 +1,114 @@
+package des
+
+// eventHeap is a binary min-heap of events ordered by (time, priority, seq).
+// It is hand-rolled rather than built on container/heap to avoid interface
+// boxing on the hot path; the kernel executes millions of events in the
+// simulator-scalability experiments.
+type eventHeap struct {
+	items []*Event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func less(a, b *Event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+// Peek returns the earliest event without removing it, or nil.
+func (h *eventHeap) Peek() *Event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+// Push inserts ev and records its heap index.
+func (h *eventHeap) Push(ev *Event) {
+	ev.index = len(h.items)
+	h.items = append(h.items, ev)
+	h.up(ev.index)
+}
+
+// Pop removes and returns the earliest event, or nil when empty.
+func (h *eventHeap) Pop() *Event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[0].index = 0
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+// Remove deletes ev from an arbitrary position.
+func (h *eventHeap) Remove(ev *Event) {
+	i := ev.index
+	if i < 0 || i >= len(h.items) || h.items[i] != ev {
+		return
+	}
+	last := len(h.items) - 1
+	if i != last {
+		h.items[i] = h.items[last]
+		h.items[i].index = i
+	}
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if i < last {
+		if !h.up(i) {
+			h.down(i)
+		}
+	}
+	ev.index = -1
+}
+
+func (h *eventHeap) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !less(h.items[smallest], h.items[i]) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}

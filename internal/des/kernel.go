@@ -1,0 +1,181 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same timestamp are ordered first by an explicit
+// priority and then by insertion sequence, which makes simulations
+// bit-reproducible across runs regardless of map iteration order or
+// scheduling jitter in the host program.
+package des
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since simulation start.
+type Time float64
+
+// Infinity is a time later than any event the kernel will ever execute.
+const Infinity = Time(math.MaxFloat64)
+
+// Seconds returns the time as a plain float64 (seconds).
+func (t Time) Seconds() float64 { return float64(t) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fs", float64(t)) }
+
+// Priority orders events that share a timestamp. Lower values run first.
+type Priority int
+
+// Well-known priorities used by the simulation engine. Keeping them in the
+// kernel package lets every subsystem agree on intra-timestamp ordering.
+const (
+	// PriorityActivity is used for resource-activity completions. They run
+	// before anything else at a timestamp so that job state is up to date
+	// when the scheduler observes it.
+	PriorityActivity Priority = -20
+	// PriorityEngine is used for engine-internal bookkeeping events.
+	PriorityEngine Priority = -10
+	// PriorityDefault is the priority of ordinary events.
+	PriorityDefault Priority = 0
+	// PriorityScheduler is used for scheduler invocations, which must
+	// observe all state changes that happen at the same timestamp.
+	PriorityScheduler Priority = 10
+)
+
+// Handler is the callback attached to an event. It runs with the kernel
+// clock set to the event's timestamp.
+type Handler func()
+
+// Event is a scheduled callback. Events are created by Kernel.Schedule and
+// may be cancelled until they fire.
+type Event struct {
+	time     Time
+	priority Priority
+	seq      uint64
+	index    int // position in the heap, -1 once removed
+	fn       Handler
+}
+
+// Time returns the timestamp the event is scheduled for.
+func (e *Event) Time() Time { return e.time }
+
+// Cancelled reports whether the event was removed from the queue before
+// firing (or has already fired).
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+// ErrHalted is returned by Run when the simulation was stopped explicitly.
+var ErrHalted = errors.New("des: simulation halted")
+
+// Kernel is a discrete-event simulation driver. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	halted  bool
+	steps   uint64
+	maxTime Time
+}
+
+// NewKernel returns an empty kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{maxTime: Infinity}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Steps returns the number of events executed so far. It is useful for
+// simulator-performance experiments.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Pending returns the number of events currently queued.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// Schedule enqueues fn to run at absolute time t with the given priority.
+// Scheduling in the past panics: it always indicates a simulation bug.
+func (k *Kernel) Schedule(t Time, p Priority, fn Handler) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("des: nil event handler")
+	}
+	ev := &Event{time: t, priority: p, seq: k.seq, fn: fn}
+	k.seq++
+	k.queue.Push(ev)
+	return ev
+}
+
+// ScheduleAfter enqueues fn to run d seconds after the current time.
+func (k *Kernel) ScheduleAfter(d Time, p Priority, fn Handler) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	return k.Schedule(k.now+d, p, fn)
+}
+
+// Cancel removes ev from the queue. Cancelling an event that already fired
+// or was cancelled is a no-op.
+func (k *Kernel) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	k.queue.Remove(ev)
+}
+
+// Reschedule moves an event to a new time, preserving its handler and
+// priority. If the event already fired it is re-created.
+func (k *Kernel) Reschedule(ev *Event, t Time) *Event {
+	if ev == nil {
+		panic("des: reschedule of nil event")
+	}
+	k.Cancel(ev)
+	return k.Schedule(t, ev.priority, ev.fn)
+}
+
+// Halt stops the run loop after the current event completes.
+func (k *Kernel) Halt() { k.halted = true }
+
+// SetHorizon limits Run to events at or before t. Events beyond the horizon
+// remain queued.
+func (k *Kernel) SetHorizon(t Time) { k.maxTime = t }
+
+// Step executes the single earliest event. It returns false when the queue
+// is empty or the next event lies beyond the horizon.
+func (k *Kernel) Step() bool {
+	ev := k.queue.Peek()
+	if ev == nil || ev.time > k.maxTime || k.halted {
+		return false
+	}
+	k.queue.Pop()
+	k.now = ev.time
+	k.steps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, the horizon is reached, or
+// Halt is called. It returns ErrHalted in the latter case.
+func (k *Kernel) Run() error {
+	for k.Step() {
+	}
+	if k.halted {
+		return ErrHalted
+	}
+	return nil
+}
+
+// RunUntil executes events with time <= t and then advances the clock to t
+// (if t is later than the last event executed).
+func (k *Kernel) RunUntil(t Time) error {
+	saved := k.maxTime
+	k.maxTime = t
+	err := k.Run()
+	k.maxTime = saved
+	if err == nil && k.now < t {
+		k.now = t
+	}
+	return err
+}

@@ -1,0 +1,506 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, tm := range []Time{5, 1, 3, 2, 4} {
+		tm := tm
+		k.Schedule(tm, PriorityDefault, func() { got = append(got, tm) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if k.Now() != 5 {
+		t.Errorf("clock at %v, want 5", k.Now())
+	}
+}
+
+func TestKernelPriorityBreaksTies(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.Schedule(1, PriorityScheduler, func() { got = append(got, "sched") })
+	k.Schedule(1, PriorityActivity, func() { got = append(got, "act") })
+	k.Schedule(1, PriorityDefault, func() { got = append(got, "def") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"act", "def", "sched"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKernelSequenceBreaksRemainingTies(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.Schedule(7, PriorityDefault, func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("same-time same-priority events ran out of insertion order: %v", got)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	ev := k.Schedule(1, PriorityDefault, func() { fired = true })
+	k.Cancel(ev)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	// Double cancel must be harmless.
+	k.Cancel(ev)
+}
+
+func TestKernelCancelFromHandler(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	var victim *Event
+	k.Schedule(1, PriorityDefault, func() { k.Cancel(victim) })
+	victim = k.Schedule(2, PriorityDefault, func() { fired = true })
+	k.Schedule(3, PriorityDefault, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("event cancelled from handler still fired")
+	}
+	if k.Now() != 3 {
+		t.Errorf("clock at %v, want 3", k.Now())
+	}
+}
+
+func TestKernelReschedule(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	ev := k.Schedule(10, PriorityDefault, func() { at = k.Now() })
+	k.Reschedule(ev, 4)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 4 {
+		t.Errorf("rescheduled event fired at %v, want 4", at)
+	}
+}
+
+func TestKernelScheduleAfter(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.Schedule(3, PriorityDefault, func() {
+		k.ScheduleAfter(2, PriorityDefault, func() { at = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5 {
+		t.Errorf("fired at %v, want 5", at)
+	}
+}
+
+func TestKernelSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(5, PriorityDefault, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.Schedule(1, PriorityDefault, func() {})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelHalt(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.Schedule(Time(i), PriorityDefault, func() {
+			count++
+			if count == 3 {
+				k.Halt()
+			}
+		})
+	}
+	if err := k.Run(); err != ErrHalted {
+		t.Fatalf("Run returned %v, want ErrHalted", err)
+	}
+	if count != 3 {
+		t.Errorf("ran %d events, want 3", count)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.Schedule(Time(i), PriorityDefault, func() { count++ })
+	}
+	if err := k.RunUntil(4); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Errorf("ran %d events, want 4", count)
+	}
+	if k.Now() != 4 {
+		t.Errorf("clock at %v, want 4", k.Now())
+	}
+	// Remaining events still run afterwards.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("ran %d events total, want 10", count)
+	}
+}
+
+func TestKernelRunUntilAdvancesIdleClock(t *testing.T) {
+	k := NewKernel()
+	if err := k.RunUntil(42); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 42 {
+		t.Errorf("clock at %v, want 42", k.Now())
+	}
+}
+
+func TestKernelStepsCounter(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 5; i++ {
+		k.Schedule(Time(i), PriorityDefault, func() {})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Steps() != 5 {
+		t.Errorf("Steps() = %d, want 5", k.Steps())
+	}
+}
+
+// Property: for any set of (time, priority) pairs, execution order is the
+// stable sort by (time, priority).
+func TestKernelOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		k := NewKernel()
+		type key struct {
+			t    Time
+			p    Priority
+			sequ int
+		}
+		var want []key
+		var got []key
+		for i, v := range raw {
+			kt := Time(v % 97)
+			kp := Priority(int(v/97) % 5)
+			kk := key{kt, kp, i}
+			want = append(want, kk)
+			k.Schedule(kt, kp, func() { got = append(got, kk) })
+		}
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].t != want[j].t {
+				return want[i].t < want[j].t
+			}
+			if want[i].p != want[j].p {
+				return want[i].p < want[j].p
+			}
+			return want[i].sequ < want[j].sequ
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapRemoveMiddle(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	events := make([]*Event, 0, 20)
+	for i := 0; i < 20; i++ {
+		tm := Time(i)
+		events = append(events, k.Schedule(tm, PriorityDefault, func() { got = append(got, tm) }))
+	}
+	// Remove every third event.
+	var want []Time
+	for i := 0; i < 20; i++ {
+		if i%3 == 0 {
+			k.Cancel(events[i])
+		} else {
+			want = append(want, Time(i))
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRNG(54321)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/1000 identical draws", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	a := NewRNG(7)
+	s1 := a.Split()
+	v1 := s1.Uint64()
+	// A fresh parent advanced identically must produce the same split stream.
+	b := NewRNG(7)
+	s2 := b.Split()
+	if got := s2.Uint64(); got != v1 {
+		t.Errorf("split streams not reproducible: %d vs %d", got, v1)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(0.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Errorf("Exp(0.5) mean = %v, want ~2.0", mean)
+	}
+}
+
+func TestRNGWeibullShapeOneIsExponential(t *testing.T) {
+	r := NewRNG(3)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Weibull(1, 3)
+	}
+	mean := sum / n
+	if math.Abs(mean-3.0) > 0.08 {
+		t.Errorf("Weibull(1,3) mean = %v, want ~3.0", mean)
+	}
+}
+
+func TestRNGLogUniformBounds(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		v := r.LogUniform(2, 512)
+		if v < 2 || v > 512 {
+			t.Fatalf("LogUniform out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRNGPowerOfTwo(t *testing.T) {
+	r := NewRNG(5)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.PowerOfTwo(4, 64)
+		if v&(v-1) != 0 || v < 4 || v > 64 {
+			t.Fatalf("PowerOfTwo(4,64) = %d", v)
+		}
+		seen[v] = true
+	}
+	for _, want := range []int{4, 8, 16, 32, 64} {
+		if !seen[want] {
+			t.Errorf("PowerOfTwo never produced %d", want)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(6)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	r := NewRNG(8)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("Intn(10) bucket %d count %d far from %d", i, c, n/10)
+		}
+	}
+}
+
+func TestRNGShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := map[int]bool{}
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestKernelAccessors(t *testing.T) {
+	k := NewKernel()
+	ev := k.Schedule(3, PriorityDefault, func() {})
+	if k.Pending() != 1 {
+		t.Errorf("Pending = %d", k.Pending())
+	}
+	if ev.Time() != 3 {
+		t.Errorf("Time = %v", ev.Time())
+	}
+	if Time(2.5).Seconds() != 2.5 {
+		t.Errorf("Seconds wrong")
+	}
+	if Time(1.25).String() != "1.250000s" {
+		t.Errorf("String = %q", Time(1.25).String())
+	}
+	k.SetHorizon(2)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Pending() != 1 {
+		t.Error("event beyond horizon should remain queued")
+	}
+}
+
+func TestKernelInvalidArguments(t *testing.T) {
+	k := NewKernel()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil handler", func() { k.Schedule(1, PriorityDefault, nil) })
+	mustPanic("negative delay", func() { k.ScheduleAfter(-1, PriorityDefault, func() {}) })
+	mustPanic("nil reschedule", func() { k.Reschedule(nil, 1) })
+}
+
+func TestRNGInvalidArguments(t *testing.T) {
+	r := NewRNG(1)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Intn(0)", func() { r.Intn(0) })
+	mustPanic("Exp(0)", func() { r.Exp(0) })
+	mustPanic("Weibull(0,1)", func() { r.Weibull(0, 1) })
+	mustPanic("LogUniform(0,1)", func() { r.LogUniform(0, 1) })
+	mustPanic("PowerOfTwo(0,4)", func() { r.PowerOfTwo(0, 4) })
+}
+
+func TestRNGLogUniformInt(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		v := r.LogUniformInt(3, 17)
+		if v < 3 || v > 17 {
+			t.Fatalf("LogUniformInt out of bounds: %d", v)
+		}
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	r := NewRNG(3)
+	trues := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			trues++
+		}
+	}
+	if trues < n/4-n/25 || trues > n/4+n/25 {
+		t.Errorf("Bool(0.25) true rate %d/%d", trues, n)
+	}
+}

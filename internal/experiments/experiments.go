@@ -1,0 +1,562 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/elastisim"
+	"repro/internal/job"
+	"repro/internal/platform"
+)
+
+// Standard experiment machine: 128 nodes, 100 Gflop/s each, 10 GB/s links,
+// 80/60 GB/s PFS — a small tier-2 cluster, the scale such papers evaluate
+// at.
+const (
+	stdNodes     = 128
+	stdNodeSpeed = 100e9
+	stdLinkBW    = 10e9
+	stdPFSRead   = 80e9
+	stdPFSWrite  = 60e9
+)
+
+// StandardPlatform returns the experiment cluster.
+func StandardPlatform(nodes int) *elastisim.PlatformSpec {
+	return elastisim.HomogeneousPlatform("exp", nodes, stdNodeSpeed, stdLinkBW, stdPFSRead, stdPFSWrite)
+}
+
+// standardWorkload generates the shared batch workload: mixed profiles,
+// Poisson arrivals sized to keep the machine busy, with the given malleable
+// share (the remainder is rigid).
+func standardWorkload(seed uint64, count int, malleableShare float64) (*elastisim.Workload, error) {
+	shares := map[job.Type]float64{}
+	if malleableShare < 1 {
+		shares[job.Rigid] = 1 - malleableShare
+	}
+	if malleableShare > 0 {
+		shares[job.Malleable] = malleableShare
+	}
+	return elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+		Name:         fmt.Sprintf("std-%.0f%%", malleableShare*100),
+		Seed:         seed,
+		Count:        count,
+		Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: 1.0 / 18},
+		Nodes:        [2]int{2, 64},
+		MachineNodes: stdNodes,
+		NodeSpeed:    stdNodeSpeed,
+		TypeShares:   shares,
+	})
+}
+
+func mustRun(cfg elastisim.Config) (*elastisim.Result, error) {
+	res, err := elastisim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// E1Utilization reproduces the utilization-over-time figure: the same
+// workload scheduled rigid-only (EASY) versus fully malleable (adaptive).
+// It returns the table of time-bucketed utilization plus both results.
+func E1Utilization(seed uint64, count int) (*Table, *elastisim.Result, *elastisim.Result, error) {
+	rigidWL, err := standardWorkload(seed, count, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mallWL, err := standardWorkload(seed, count, 1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rigid, err := mustRun(elastisim.Config{
+		Platform: StandardPlatform(stdNodes), Workload: rigidWL, Algorithm: elastisim.NewEASY(),
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mall, err := mustRun(elastisim.Config{
+		Platform: StandardPlatform(stdNodes), Workload: mallWL, Algorithm: elastisim.NewAdaptive(),
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	t := &Table{
+		ID:     "E1",
+		Title:  "cluster utilization over time, rigid (EASY) vs malleable (adaptive)",
+		Header: []string{"time", "util_rigid", "util_malleable"},
+	}
+	horizon := math.Max(rigid.Summary.Makespan, mall.Summary.Makespan)
+	const buckets = 20
+	for i := 0; i < buckets; i++ {
+		a := horizon * float64(i) / buckets
+		b := horizon * float64(i+1) / buckets
+		ur := rigid.Recorder.BusyTimeline().Mean(a, b) / stdNodes
+		um := mall.Recorder.BusyTimeline().Mean(a, b) / stdNodes
+		t.AddRow(f1(a), pct(ur), pct(um))
+	}
+	t.AddNote("mean utilization: rigid %s, malleable %s; makespan: rigid %s, malleable %s",
+		pct(rigid.Summary.Utilization), pct(mall.Summary.Utilization),
+		f1(rigid.Summary.Makespan), f1(mall.Summary.Makespan))
+	return t, rigid, mall, nil
+}
+
+// E2MalleableShare reproduces the makespan/turnaround-vs-malleable-share
+// figure: 0..100% in 25% steps under the adaptive policy.
+func E2MalleableShare(seed uint64, count int) (*Table, []*elastisim.Result, error) {
+	t := &Table{
+		ID:     "E2",
+		Title:  "batch metrics vs malleable job share (adaptive policy)",
+		Header: []string{"malleable", "makespan", "mean_turnaround", "mean_wait", "utilization", "reconfigs"},
+	}
+	var results []*elastisim.Result
+	for _, share := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		wl, err := standardWorkload(seed, count, share)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := mustRun(elastisim.Config{
+			Platform: StandardPlatform(stdNodes), Workload: wl, Algorithm: elastisim.NewAdaptive(),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		s := res.Summary
+		t.AddRow(pct(share), f1(s.Makespan), f1(s.MeanTurnaround), f1(s.MeanWait),
+			pct(s.Utilization), fmt.Sprintf("%d", s.Reconfigs))
+	}
+	first, last := results[0].Summary, results[len(results)-1].Summary
+	t.AddNote("makespan %s -> %s (%.1f%% change) as malleable share goes 0%% -> 100%%",
+		f1(first.Makespan), f1(last.Makespan), 100*(last.Makespan-first.Makespan)/first.Makespan)
+	return t, results, nil
+}
+
+// E3Schedulers reproduces the scheduling-algorithm comparison table on one
+// fixed mixed workload (50% malleable).
+func E3Schedulers(seed uint64, count int) (*Table, map[string]*elastisim.Result, error) {
+	wl, err := standardWorkload(seed, count, 0.5)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		ID:     "E3",
+		Title:  "scheduler comparison on a 50% malleable workload",
+		Header: []string{"algorithm", "makespan", "mean_wait", "p95_wait", "mean_slowdown", "utilization"},
+	}
+	results := map[string]*elastisim.Result{}
+	for _, name := range []string{"fcfs", "sjf", "conservative", "easy", "adaptive"} {
+		algo, err := elastisim.NewAlgorithm(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Re-generate the workload each run: jobs are mutated-free but
+		// sharing is safer to avoid accidental cross-run state.
+		wl, err = standardWorkload(seed, count, 0.5)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := mustRun(elastisim.Config{
+			Platform: StandardPlatform(stdNodes), Workload: wl, Algorithm: algo,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		results[name] = res
+		s := res.Summary
+		t.AddRow(name, f1(s.Makespan), f1(s.MeanWait), f1(s.P95Wait), f2(s.MeanSlowdown), pct(s.Utilization))
+	}
+	t.AddNote("expected shape: EASY <= FCFS makespan; adaptive best (exploits malleability)")
+	return t, results, nil
+}
+
+// E4BurstBuffer reproduces the I/O-offloading figure: an I/O-heavy
+// checkpointing workload with checkpoints to the shared PFS vs node-local
+// burst buffers.
+func E4BurstBuffer(seed uint64, count int) (*Table, *elastisim.Result, *elastisim.Result, error) {
+	ioProfiles := []job.Profile{{
+		Name: "ckpt", Weight: 1, Kind: job.ProfileIOBound,
+		Iterations:     [2]int{5, 15},
+		ComputeSecs:    [2]float64{20, 60},
+		IOBytes:        [2]float64{64e9, 256e9},
+		SerialFraction: [2]float64{0.01, 0.05},
+	}}
+	gen := func(target job.IOTarget) (*elastisim.Workload, error) {
+		return elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+			Name: "io-" + string(target), Seed: seed, Count: count,
+			Arrival:          job.Arrival{Kind: job.ArrivalPoisson, Rate: 1.0 / 25},
+			Nodes:            [2]int{2, 32},
+			MachineNodes:     stdNodes,
+			NodeSpeed:        stdNodeSpeed,
+			Profiles:         ioProfiles,
+			CheckpointTarget: target,
+		})
+	}
+	spec := StandardPlatform(stdNodes)
+	spec.BurstBuffer = &platform.BurstBufferSpec{
+		Kind: platform.BBNodeLocal, ReadBandwidth: 4e9, WriteBandwidth: 4e9,
+	}
+	wlPFS, err := gen(job.TargetPFS)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wlBB, err := gen(job.TargetBB)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pfs, err := mustRun(elastisim.Config{Platform: spec, Workload: wlPFS, Algorithm: elastisim.NewEASY()})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bb, err := mustRun(elastisim.Config{Platform: spec, Workload: wlBB, Algorithm: elastisim.NewEASY()})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	t := &Table{
+		ID:     "E4",
+		Title:  "checkpoint target: shared PFS vs node-local burst buffers",
+		Header: []string{"target", "makespan", "mean_runtime", "mean_slowdown", "utilization"},
+	}
+	for _, e := range []struct {
+		name string
+		res  *elastisim.Result
+	}{{"pfs", pfs}, {"burst-buffer", bb}} {
+		meanRun := 0.0
+		n := 0
+		for _, r := range e.res.Records {
+			if r.End >= 0 && r.Start >= 0 {
+				meanRun += r.Runtime()
+				n++
+			}
+		}
+		if n > 0 {
+			meanRun /= float64(n)
+		}
+		s := e.res.Summary
+		t.AddRow(e.name, f1(s.Makespan), f1(meanRun), f2(s.MeanSlowdown), pct(s.Utilization))
+	}
+	t.AddNote("burst buffers decongest the shared PFS: makespan and slowdown improve even though small jobs may checkpoint slower on their local tier")
+	return t, pfs, bb, nil
+}
+
+// E5Scalability reproduces the simulator-performance figure: wall-clock
+// time and event counts versus number of jobs and machine size.
+func E5Scalability(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:     "E5",
+		Title:  "simulator performance: wall-clock vs jobs and machine size",
+		Header: []string{"nodes", "jobs", "sim_events", "wall_ms", "events_per_s", "sim_makespan"},
+	}
+	for _, nodes := range []int{64, 256, 1024} {
+		for _, jobs := range []int{100, 200, 400} {
+			wl, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+				Name: "scal", Seed: seed, Count: jobs,
+				Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: float64(nodes) / 1200.0},
+				Nodes:        [2]int{1, min(64, nodes)},
+				MachineNodes: nodes,
+				NodeSpeed:    stdNodeSpeed,
+				TypeShares:   map[job.Type]float64{job.Rigid: 0.5, job.Malleable: 0.5},
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := mustRun(elastisim.Config{
+				Platform:  StandardPlatform(nodes),
+				Workload:  wl,
+				Algorithm: elastisim.NewAdaptive(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			evPerSec := float64(res.Events) / res.WallClock.Seconds()
+			t.AddRow(fmt.Sprintf("%d", nodes), fmt.Sprintf("%d", jobs),
+				fmt.Sprintf("%d", res.Events),
+				fmt.Sprintf("%d", res.WallClock.Milliseconds()),
+				fmt.Sprintf("%.0f", evPerSec),
+				f1(res.Summary.Makespan))
+		}
+	}
+	t.AddNote("wall-clock grows with event count; events grow near-linearly with job count")
+	return t, nil
+}
+
+// ValidationCase is one analytic microbenchmark of E6.
+type ValidationCase struct {
+	Name      string
+	Simulated float64
+	Analytic  float64
+}
+
+// Error returns the relative error.
+func (c ValidationCase) Error() float64 {
+	if c.Analytic == 0 {
+		return math.Abs(c.Simulated)
+	}
+	return math.Abs(c.Simulated-c.Analytic) / c.Analytic
+}
+
+// E6Validation reproduces the validation table: simulated phase durations
+// against closed-form expectations on a 1 Gflop/s, 1 GB/s, 2 GB/s-PFS
+// reference platform.
+func E6Validation() (*Table, []ValidationCase, error) {
+	spec := elastisim.HomogeneousPlatform("val", 8, 1e9, 1e9, 2e9, 2e9)
+	single := func(name string, j *elastisim.Job, want float64) (ValidationCase, error) {
+		wl := &elastisim.Workload{Jobs: []*elastisim.Job{j}}
+		wl.Sort()
+		res, err := mustRun(elastisim.Config{Platform: spec, Workload: wl, Algorithm: elastisim.NewFCFS()})
+		if err != nil {
+			return ValidationCase{}, err
+		}
+		return ValidationCase{Name: name, Simulated: res.Records[0].Runtime(), Analytic: want}, nil
+	}
+	mk := func(nodes int, task elastisim.Task) *elastisim.Job {
+		return &elastisim.Job{
+			Type: elastisim.Rigid, NumNodes: nodes,
+			App: &elastisim.Application{Phases: []elastisim.Phase{{Tasks: []elastisim.Task{task}}}},
+		}
+	}
+	cases := []struct {
+		name string
+		j    *elastisim.Job
+		want float64
+	}{
+		{"compute 1e10 flops, 4 nodes", mk(4, elastisim.Task{Kind: job.TaskCompute, Model: job.MustExprModel("1e10/num_nodes")}), 2.5},
+		{"allreduce 1GB, 4 nodes", mk(4, elastisim.Task{Kind: job.TaskComm, Model: job.MustExprModel("1G"), Pattern: job.PatternAllReduce}), 1.5},
+		{"alltoall 1GB, 4 nodes", mk(4, elastisim.Task{Kind: job.TaskComm, Model: job.MustExprModel("1G"), Pattern: job.PatternAllToAll}), 3},
+		{"pfs read 8GB, 2 nodes", mk(2, elastisim.Task{Kind: job.TaskRead, Model: job.MustExprModel("8G"), Target: job.TargetPFS}), 4},
+		{"pfs read 8GB, 1 node (link-bound)", mk(1, elastisim.Task{Kind: job.TaskRead, Model: job.MustExprModel("8G"), Target: job.TargetPFS}), 8},
+		{"delay 12.5s", mk(1, elastisim.Task{Kind: job.TaskDelay, Model: job.MustExprModel("12.5")}), 12.5},
+	}
+	t := &Table{
+		ID:     "E6",
+		Title:  "validation: simulated vs analytic durations",
+		Header: []string{"case", "simulated_s", "analytic_s", "rel_error"},
+	}
+	var out []ValidationCase
+	for _, c := range cases {
+		vc, err := single(c.name, c.j, c.want)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, vc)
+		t.AddRow(c.name, f3(vc.Simulated), f3(vc.Analytic), pct(vc.Error()))
+	}
+	// Contention case needs two jobs.
+	two := &elastisim.Workload{Jobs: []*elastisim.Job{
+		mk(1, elastisim.Task{Kind: job.TaskWrite, Model: job.MustExprModel("2G"), Target: job.TargetPFS}),
+		mk(1, elastisim.Task{Kind: job.TaskWrite, Model: job.MustExprModel("2G"), Target: job.TargetPFS}),
+	}}
+	two.Jobs[1].ID = 1
+	two.Sort()
+	res, err := mustRun(elastisim.Config{Platform: spec, Workload: two, Algorithm: elastisim.NewFCFS()})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Each job: 2 GB at min(link 1 GB/s, PFS share 1 GB/s) = 2 s... but
+	// alone the link already caps at 1 GB/s, so contention on the 2 GB/s
+	// PFS is invisible: expected 2 s. (The fair-share case with visible
+	// contention is covered in E4 and the core tests.)
+	vc := ValidationCase{Name: "2x pfs write 2GB, 1 node each", Simulated: res.Records[0].Runtime(), Analytic: 2}
+	out = append(out, vc)
+	t.AddRow(vc.Name, f3(vc.Simulated), f3(vc.Analytic), pct(vc.Error()))
+	worst := 0.0
+	for _, c := range out {
+		if c.Error() > worst {
+			worst = c.Error()
+		}
+	}
+	t.AddNote("worst relative error %s (fluid model is exact for these closed forms)", pct(worst))
+	return t, out, nil
+}
+
+// E7Evolving reproduces the evolving-jobs figure: one evolving job's
+// allocation over time under background load, plus grant statistics.
+func E7Evolving(seed uint64) (*Table, *elastisim.Result, error) {
+	// Background: rigid jobs leaving some headroom.
+	bg, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+		Name: "bg", Seed: seed, Count: 30,
+		Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: 1.0 / 40},
+		Nodes:        [2]int{2, 32},
+		MachineNodes: stdNodes,
+		NodeSpeed:    stdNodeSpeed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	evolving := &elastisim.Job{
+		Name: "amr", Type: elastisim.Evolving,
+		NumNodesMin: 4, NumNodesMax: 64, NumNodes: 8,
+		SubmitTime: 1,
+		Args:       map[string]float64{"w": 40 * stdNodeSpeed},
+		App: &elastisim.Application{Phases: []elastisim.Phase{{
+			Iterations:      20,
+			SchedulingPoint: true,
+			Tasks: []elastisim.Task{
+				{Kind: job.TaskEvolvingRequest, Model: job.MustExprModel(
+					"iteration < 5 ? 8 : (iteration < 15 ? 64 : 4)")},
+				{Kind: job.TaskCompute, Model: job.MustExprModel("w / num_nodes")},
+			},
+		}}},
+	}
+	wl := &elastisim.Workload{Jobs: append(bg.Jobs, evolving)}
+	wl.Sort()
+	res, err := mustRun(elastisim.Config{
+		Platform: StandardPlatform(stdNodes), Workload: wl,
+		Algorithm: elastisim.NewAdaptive(),
+		Options:   elastisim.Options{Trace: true},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Find the evolving job's record by name.
+	var rec *elastisim.JobRecord
+	for _, r := range res.Records {
+		if r.Name == "amr" {
+			rec = r
+			break
+		}
+	}
+	if rec == nil {
+		return nil, nil, fmt.Errorf("evolving job record missing")
+	}
+	requests, grants, denies := 0, 0, 0
+	for _, ev := range res.Trace {
+		switch ev.Kind {
+		case "evolving-request":
+			requests++
+		case "granted":
+			grants++
+		case "denied":
+			denies++
+		}
+	}
+	t := &Table{
+		ID:     "E7",
+		Title:  "evolving job adaptivity under background load",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("requests issued", fmt.Sprintf("%d", requests))
+	t.AddRow("requests granted", fmt.Sprintf("%d", grants))
+	t.AddRow("requests denied", fmt.Sprintf("%d", denies))
+	t.AddRow("initial nodes", fmt.Sprintf("%d", rec.InitialNodes))
+	t.AddRow("peak nodes", fmt.Sprintf("%d", rec.PeakNodes))
+	t.AddRow("final nodes", fmt.Sprintf("%d", rec.FinalNodes))
+	t.AddRow("reconfigurations", fmt.Sprintf("%d", rec.Reconfigs))
+	t.AddRow("runtime", f1(rec.Runtime()))
+	t.AddNote("allocation follows the application's demand curve (8 -> up to 64 -> 4)")
+	return t, res, nil
+}
+
+// E8ReconfigCost reproduces the reconfiguration-cost sensitivity table:
+// the fully malleable workload with the per-reconfiguration cost forced to
+// fixed values.
+func E8ReconfigCost(seed uint64, count int) (*Table, []*elastisim.Result, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "sensitivity to reconfiguration cost (100% malleable, adaptive)",
+		Header: []string{"cost_s", "makespan", "mean_turnaround", "utilization", "reconfigs"},
+	}
+	var results []*elastisim.Result
+	for _, cost := range []float64{0, 1, 10, 60, 300} {
+		wl, err := standardWorkload(seed, count, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, j := range wl.Jobs {
+			j.ReconfigCost = job.ConstModel(cost)
+		}
+		res, err := mustRun(elastisim.Config{
+			Platform: StandardPlatform(stdNodes), Workload: wl, Algorithm: elastisim.NewAdaptive(),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		s := res.Summary
+		t.AddRow(f1(cost), f1(s.Makespan), f1(s.MeanTurnaround), pct(s.Utilization),
+			fmt.Sprintf("%d", s.Reconfigs))
+	}
+	first, last := results[0].Summary, results[len(results)-1].Summary
+	t.AddNote("makespan degrades from %s to %s as reconfiguration cost grows 0 -> 300 s",
+		f1(first.Makespan), f1(last.Makespan))
+	return t, results, nil
+}
+
+// E9Topology reproduces a network-sensitivity figure: the same
+// communication-heavy workload on a non-blocking star network versus
+// tree topologies with increasingly tapered uplinks. Jobs spanning leaf
+// switches contend on uplinks, so batch metrics degrade with the taper.
+func E9Topology(seed uint64, count int) (*Table, []*elastisim.Result, error) {
+	gen := func() (*elastisim.Workload, error) {
+		wl, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+			Name: "comm-heavy", Seed: seed, Count: count,
+			Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: 1.0 / 18},
+			Nodes:        [2]int{2, 64},
+			MachineNodes: stdNodes,
+			NodeSpeed:    stdNodeSpeed,
+			Profiles: []job.Profile{{
+				Name: "halo", Weight: 1, Kind: job.ProfileComputeBound,
+				Iterations:     [2]int{10, 30},
+				ComputeSecs:    [2]float64{5, 20},
+				CommBytes:      [2]float64{0.5e9, 4e9}, // heavy collectives
+				IOBytes:        [2]float64{1e9, 8e9},
+				SerialFraction: [2]float64{0.01, 0.05},
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Alltoall exchanges stress cross-switch uplinks quadratically
+		// (k*(n-k) per uplink vs n-1 per link); allreduce would hide the
+		// taper entirely (its uplink weight, 2, never exceeds its link
+		// weight).
+		for _, j := range wl.Jobs {
+			for pi := range j.App.Phases {
+				for ti := range j.App.Phases[pi].Tasks {
+					if j.App.Phases[pi].Tasks[ti].Kind == job.TaskComm {
+						j.App.Phases[pi].Tasks[ti].Pattern = job.PatternAllToAll
+					}
+				}
+			}
+		}
+		return wl, nil
+	}
+	type variant struct {
+		name     string
+		uplinkBW float64 // 0 = star topology
+	}
+	variants := []variant{
+		{"star (non-blocking)", 0},
+		{"tree 1:1", 16 * stdLinkBW},
+		{"tree 1:4", 4 * stdLinkBW},
+		{"tree 1:16", stdLinkBW},
+	}
+	t := &Table{
+		ID:     "E9",
+		Title:  "network sensitivity: star vs tapered tree (comm-heavy workload, EASY)",
+		Header: []string{"network", "makespan", "mean_turnaround", "mean_slowdown", "utilization"},
+	}
+	var results []*elastisim.Result
+	for _, v := range variants {
+		spec := StandardPlatform(stdNodes)
+		if v.uplinkBW > 0 {
+			spec.Network.Topology = platform.TopologyTree
+			spec.Network.GroupSize = 16
+			spec.Network.UplinkBandwidth = platform.Quantity(v.uplinkBW)
+		}
+		wl, err := gen()
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := mustRun(elastisim.Config{
+			Platform: spec, Workload: wl, Algorithm: elastisim.NewEASY(),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+		s := res.Summary
+		t.AddRow(v.name, f1(s.Makespan), f1(s.MeanTurnaround), f2(s.MeanSlowdown), pct(s.Utilization))
+	}
+	t.AddNote("tapering the uplinks stretches cross-switch collectives; a 1:16 taper visibly hurts turnaround")
+	return t, results, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/elastisim"
+	"repro/internal/job"
+)
+
+// SweepPoint is one cell of a parameter-grid study.
+type SweepPoint struct {
+	Algorithm      string
+	MalleableShare float64
+	Seed           uint64
+	Jobs           int
+	Summary        elastisim.Summary
+	Events         uint64
+	WallMillis     int64
+}
+
+// SweepConfig spans the grid. Zero-valued fields get defaults matching the
+// standard experiment machine.
+type SweepConfig struct {
+	// Algorithms by registry name (default: fcfs, easy, adaptive).
+	Algorithms []string
+	// Shares of malleable jobs (default: 0, 0.5, 1).
+	Shares []float64
+	// Seeds for workload generation (default: 1).
+	Seeds []uint64
+	// Jobs per run (default 100).
+	Jobs int
+	// Nodes is the machine size (default 128).
+	Nodes int
+}
+
+func (c *SweepConfig) withDefaults() SweepConfig {
+	out := *c
+	if len(out.Algorithms) == 0 {
+		out.Algorithms = []string{"fcfs", "easy", "adaptive"}
+	}
+	if len(out.Shares) == 0 {
+		out.Shares = []float64{0, 0.5, 1}
+	}
+	if len(out.Seeds) == 0 {
+		out.Seeds = []uint64{1}
+	}
+	if out.Jobs <= 0 {
+		out.Jobs = 100
+	}
+	if out.Nodes <= 0 {
+		out.Nodes = stdNodes
+	}
+	return out
+}
+
+// Sweep runs the full grid: every algorithm on every (share, seed)
+// workload. Runs are independent and deterministic per cell.
+func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
+	cfg = cfg.withDefaults()
+	var out []SweepPoint
+	for _, seed := range cfg.Seeds {
+		for _, share := range cfg.Shares {
+			for _, name := range cfg.Algorithms {
+				algo, err := elastisim.NewAlgorithm(name)
+				if err != nil {
+					return nil, err
+				}
+				shares := map[job.Type]float64{}
+				if share < 1 {
+					shares[job.Rigid] = 1 - share
+				}
+				if share > 0 {
+					shares[job.Malleable] = share
+				}
+				wl, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+					Name: "sweep", Seed: seed, Count: cfg.Jobs,
+					Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: float64(cfg.Nodes) / 2304.0},
+					Nodes:        [2]int{2, min(64, cfg.Nodes)},
+					MachineNodes: cfg.Nodes,
+					NodeSpeed:    stdNodeSpeed,
+					TypeShares:   shares,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res, err := mustRun(elastisim.Config{
+					Platform:  StandardPlatform(cfg.Nodes),
+					Workload:  wl,
+					Algorithm: algo,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("sweep cell (%s, %.2f, %d): %w", name, share, seed, err)
+				}
+				out = append(out, SweepPoint{
+					Algorithm:      name,
+					MalleableShare: share,
+					Seed:           seed,
+					Jobs:           cfg.Jobs,
+					Summary:        res.Summary,
+					Events:         res.Events,
+					WallMillis:     res.WallClock.Milliseconds(),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteSweepCSV emits the grid as CSV for external analysis.
+func WriteSweepCSV(w io.Writer, pts []SweepPoint) error {
+	if _, err := fmt.Fprintln(w, "algorithm,malleable_share,seed,jobs,makespan,utilization,mean_wait,p95_wait,mean_turnaround,mean_slowdown,reconfigs,completed,killed,sim_events,wall_ms"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		s := p.Summary
+		if _, err := fmt.Fprintf(w, "%s,%g,%d,%d,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d,%d\n",
+			p.Algorithm, p.MalleableShare, p.Seed, p.Jobs,
+			s.Makespan, s.Utilization, s.MeanWait, s.P95Wait, s.MeanTurnaround,
+			s.MeanSlowdown, s.Reconfigs, s.Completed, s.Killed, p.Events, p.WallMillis); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package extsched
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+)
+
+// Process is a Bridge backed by a child process speaking the protocol on
+// its stdin/stdout.
+type Process struct {
+	*Bridge
+	cmd *exec.Cmd
+}
+
+// StartProcess launches argv[0] with the given arguments and connects the
+// bridge to its stdio. The child's stderr is passed through for
+// diagnostics. extraEnv entries ("KEY=value") are appended to the current
+// environment.
+func StartProcess(argv []string, extraEnv ...string) (*Process, error) {
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("extsched: empty command")
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stderr = os.Stderr
+	if len(extraEnv) > 0 {
+		cmd.Env = append(os.Environ(), extraEnv...)
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("extsched: starting %q: %w", argv[0], err)
+	}
+	return &Process{
+		Bridge: NewBridge("external:"+argv[0], stdout, stdin),
+		cmd:    cmd,
+	}, nil
+}
+
+// Close ends the protocol session and waits for the child to exit.
+func (p *Process) Close() error {
+	endErr := p.Bridge.Close()
+	waitErr := p.cmd.Wait()
+	if endErr != nil {
+		return endErr
+	}
+	return waitErr
+}

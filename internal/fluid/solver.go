@@ -1,0 +1,428 @@
+// Package fluid implements a rate-based ("fluid") resource-sharing model in
+// the style of SimGrid's LMM solver, which the original ElastiSim builds on.
+//
+// Work in the simulator — compute phases, communication, file I/O — is
+// represented as activities. An activity has an amount of remaining work
+// (flops, bytes) and a set of resource usages. Each usage says: while this
+// activity progresses at rate r, it consumes weight*r capacity on that
+// resource. Resources (node cores, NIC links, the parallel file system)
+// have finite capacity shared by all activities using them.
+//
+// The solver assigns each activity the max–min fair rate: all activities
+// grow their rates equally until a resource saturates, activities bound by
+// that resource are frozen, and filling continues for the rest
+// (progressive filling). An alternative equal-split policy is provided for
+// the fairness ablation experiment.
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+)
+
+// Fairness selects how contended capacity is divided.
+type Fairness int
+
+const (
+	// MaxMin is progressive-filling max–min fairness (the default, matching
+	// SimGrid's behaviour).
+	MaxMin Fairness = iota
+	// EqualSplit divides every resource evenly among the activities using
+	// it, ignoring bottlenecks elsewhere. Kept for the ablation bench; it
+	// under-utilizes multi-resource activities.
+	EqualSplit
+)
+
+func (f Fairness) String() string {
+	switch f {
+	case MaxMin:
+		return "max-min"
+	case EqualSplit:
+		return "equal-split"
+	default:
+		return fmt.Sprintf("Fairness(%d)", int(f))
+	}
+}
+
+// Resource is a capacity-limited entity: a node's compute capability
+// (flops/s), a link (bytes/s), or a storage target (bytes/s).
+type Resource struct {
+	name     string
+	capacity float64
+	id       int
+
+	// solver scratch state
+	remaining float64
+	weightSum float64
+	nActive   int
+	saturated bool
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource's capacity in units per second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// usage couples an activity to a resource with a consumption weight.
+type usage struct {
+	res    *Resource
+	weight float64
+}
+
+// Activity is a unit of fluid work. Create with NewActivity, add usages,
+// then hand it to Pool.Start.
+type Activity struct {
+	name       string
+	remaining  float64
+	usages     []usage
+	onComplete func()
+
+	rate    float64
+	maxRate float64 // 0 = unlimited
+	frozen  bool
+	event   *des.Event
+	pool    *Pool
+	index   int // position in pool.active, -1 when not active
+}
+
+// NewActivity creates an activity with the given total work (in resource
+// units, e.g. flops or bytes). onComplete runs when the work reaches zero;
+// it may start new activities.
+func NewActivity(name string, work float64, onComplete func()) *Activity {
+	if work < 0 || math.IsNaN(work) {
+		panic(fmt.Sprintf("fluid: invalid work %v for activity %s", work, name))
+	}
+	return &Activity{name: name, remaining: work, onComplete: onComplete, index: -1}
+}
+
+// AddUsage declares that the activity consumes weight units of res capacity
+// per unit of activity progress. Must be called before Start.
+func (a *Activity) AddUsage(res *Resource, weight float64) {
+	if a.pool != nil {
+		panic("fluid: AddUsage after Start")
+	}
+	if weight <= 0 || math.IsNaN(weight) {
+		panic(fmt.Sprintf("fluid: invalid usage weight %v on %s", weight, res.name))
+	}
+	a.usages = append(a.usages, usage{res: res, weight: weight})
+}
+
+// SetMaxRate caps the activity's progress rate. It expresses constraints
+// from resources private to the activity's owner (e.g. a job's own node
+// links bounding its PFS transfer) without registering those resources in
+// the solver. Must be called before Start.
+func (a *Activity) SetMaxRate(r float64) {
+	if a.pool != nil {
+		panic("fluid: SetMaxRate after Start")
+	}
+	if r <= 0 || math.IsNaN(r) {
+		panic(fmt.Sprintf("fluid: invalid max rate %v", r))
+	}
+	a.maxRate = r
+}
+
+// Name returns the activity's diagnostic name.
+func (a *Activity) Name() string { return a.name }
+
+// Remaining returns the work left, valid only between pool updates (the
+// pool lazily advances progress); use Pool.RemainingOf for an exact value.
+func (a *Activity) Remaining() float64 { return a.remaining }
+
+// Rate returns the currently assigned progress rate.
+func (a *Activity) Rate() float64 { return a.rate }
+
+// Active reports whether the activity is registered in a pool.
+func (a *Activity) Active() bool { return a.index >= 0 }
+
+// Pool manages the set of running activities on top of a DES kernel. All
+// methods must be called from the kernel's event loop (single-threaded).
+type Pool struct {
+	kernel     *des.Kernel
+	fairness   Fairness
+	resources  []*Resource
+	active     []*Activity
+	lastUpdate des.Time
+	epsilon    float64
+	solves     uint64
+}
+
+// NewPool creates a pool bound to the kernel.
+func NewPool(k *des.Kernel) *Pool {
+	return &Pool{kernel: k, epsilon: 1e-9}
+}
+
+// SetFairness selects the sharing policy. Call before starting activities.
+func (p *Pool) SetFairness(f Fairness) { p.fairness = f }
+
+// Solves returns how many rate recomputations have run (for perf metrics).
+func (p *Pool) Solves() uint64 { return p.solves }
+
+// NewResource registers a resource with the pool.
+func (p *Pool) NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("fluid: invalid capacity %v for resource %s", capacity, name))
+	}
+	r := &Resource{name: name, capacity: capacity, id: len(p.resources)}
+	p.resources = append(p.resources, r)
+	return r
+}
+
+// Start registers the activity and recomputes rates. Zero-work activities
+// complete at the current timestamp (via an immediate event, so that the
+// caller's stack unwinds first).
+func (p *Pool) Start(a *Activity) {
+	if a.pool != nil {
+		panic(fmt.Sprintf("fluid: activity %s started twice", a.name))
+	}
+	if len(a.usages) == 0 {
+		panic(fmt.Sprintf("fluid: activity %s has no resource usages", a.name))
+	}
+	a.pool = p
+	p.advanceProgress()
+	a.index = len(p.active)
+	p.active = append(p.active, a)
+	p.recompute()
+}
+
+// Cancel removes an activity without running its completion callback.
+func (p *Pool) Cancel(a *Activity) {
+	if a.index < 0 || a.pool != p {
+		return
+	}
+	p.advanceProgress()
+	p.remove(a)
+	p.recompute()
+}
+
+// RemainingOf returns the exact remaining work of an active activity at the
+// current kernel time.
+func (p *Pool) RemainingOf(a *Activity) float64 {
+	if a.index < 0 {
+		return a.remaining
+	}
+	elapsed := float64(p.kernel.Now() - p.lastUpdate)
+	rem := a.remaining - a.rate*elapsed
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// ActiveCount returns the number of running activities.
+func (p *Pool) ActiveCount() int { return len(p.active) }
+
+// remove unlinks the activity and cancels its completion event.
+func (p *Pool) remove(a *Activity) {
+	last := len(p.active) - 1
+	i := a.index
+	p.active[i] = p.active[last]
+	p.active[i].index = i
+	p.active = p.active[:last]
+	a.index = -1
+	if a.event != nil {
+		p.kernel.Cancel(a.event)
+		a.event = nil
+	}
+}
+
+// advanceProgress applies the elapsed time since the last update to all
+// active activities' remaining work.
+func (p *Pool) advanceProgress() {
+	now := p.kernel.Now()
+	elapsed := float64(now - p.lastUpdate)
+	if elapsed > 0 {
+		for _, a := range p.active {
+			a.remaining -= a.rate * elapsed
+			if a.remaining < 0 {
+				a.remaining = 0
+			}
+		}
+	}
+	p.lastUpdate = now
+}
+
+// recompute solves for rates and reschedules completion events.
+func (p *Pool) recompute() {
+	p.solves++
+	switch p.fairness {
+	case MaxMin:
+		p.solveMaxMin()
+	case EqualSplit:
+		p.solveEqualSplit()
+	}
+	// Reschedule completions.
+	now := p.kernel.Now()
+	for _, a := range p.active {
+		var due des.Time
+		switch {
+		case a.remaining <= 0:
+			due = now
+		case a.rate <= 0:
+			due = des.Infinity
+		default:
+			due = now + des.Time(a.remaining/a.rate)
+		}
+		if a.event != nil {
+			p.kernel.Cancel(a.event)
+			a.event = nil
+		}
+		if due < des.Infinity {
+			act := a
+			a.event = p.kernel.Schedule(due, des.PriorityActivity, func() {
+				p.complete(act)
+			})
+		}
+	}
+}
+
+// complete finalizes an activity whose work reached zero.
+func (p *Pool) complete(a *Activity) {
+	a.event = nil
+	p.advanceProgress()
+	// Guard against float drift: force remaining to zero at completion.
+	a.remaining = 0
+	p.remove(a)
+	p.recompute()
+	if a.onComplete != nil {
+		a.onComplete()
+	}
+}
+
+// solveMaxMin assigns progressive-filling max–min fair rates.
+func (p *Pool) solveMaxMin() {
+	if len(p.active) == 0 {
+		return
+	}
+	// Reset scratch state on the resources actually in use.
+	touched := touchedResources(p.active)
+	for _, r := range touched {
+		r.remaining = r.capacity
+		r.weightSum = 0
+		r.saturated = false
+	}
+	unfrozen := 0
+	for _, a := range p.active {
+		a.rate = 0
+		a.frozen = false
+		unfrozen++
+		for _, u := range a.usages {
+			u.res.weightSum += u.weight
+		}
+	}
+	for unfrozen > 0 {
+		// Find the bottleneck increment: the tightest resource, or the
+		// nearest per-activity rate cap.
+		delta := math.Inf(1)
+		for _, r := range touched {
+			if r.saturated || r.weightSum <= 0 {
+				continue
+			}
+			if d := r.remaining / r.weightSum; d < delta {
+				delta = d
+			}
+		}
+		for _, a := range p.active {
+			if a.frozen || a.maxRate <= 0 {
+				continue
+			}
+			if d := a.maxRate - a.rate; d < delta {
+				delta = d
+			}
+		}
+		if math.IsInf(delta, 1) {
+			// No unfrozen activity is constrained — cannot happen since
+			// every activity has at least one usage, but guard anyway.
+			break
+		}
+		// Apply the increment.
+		for _, a := range p.active {
+			if a.frozen {
+				continue
+			}
+			a.rate += delta
+		}
+		for _, r := range touched {
+			if r.saturated || r.weightSum <= 0 {
+				continue
+			}
+			r.remaining -= delta * r.weightSum
+			if r.remaining <= p.epsilon*r.capacity {
+				r.remaining = 0
+				r.saturated = true
+			}
+		}
+		// Freeze activities that touch a saturated resource or hit their
+		// rate cap; either way their consumption stops growing.
+		for _, a := range p.active {
+			if a.frozen {
+				continue
+			}
+			freeze := a.maxRate > 0 && a.rate >= a.maxRate-p.epsilon*a.maxRate
+			if !freeze {
+				for _, u := range a.usages {
+					if u.res.saturated {
+						freeze = true
+						break
+					}
+				}
+			}
+			if freeze {
+				a.frozen = true
+				unfrozen--
+				// Its weight no longer grows on other resources.
+				for _, u2 := range a.usages {
+					u2.res.weightSum -= u2.weight
+				}
+			}
+		}
+	}
+	// Convert the uniform fill level into per-activity progress rates:
+	// the fill is already the progress rate (weights scale consumption,
+	// not progress).
+}
+
+// solveEqualSplit divides each resource evenly among its users; an
+// activity's rate is its most restrictive per-resource share.
+func (p *Pool) solveEqualSplit() {
+	touched := touchedResources(p.active)
+	for _, r := range touched {
+		r.nActive = 0
+	}
+	for _, a := range p.active {
+		for _, u := range a.usages {
+			u.res.nActive++
+		}
+	}
+	for _, a := range p.active {
+		rate := math.Inf(1)
+		for _, u := range a.usages {
+			share := u.res.capacity / float64(u.res.nActive) / u.weight
+			if share < rate {
+				rate = share
+			}
+		}
+		if a.maxRate > 0 && a.maxRate < rate {
+			rate = a.maxRate
+		}
+		a.rate = rate
+	}
+}
+
+// touchedResources returns the distinct resources used by the activities,
+// in deterministic (id) order of first appearance.
+func touchedResources(activities []*Activity) []*Resource {
+	seen := map[int]bool{}
+	var out []*Resource
+	for _, a := range activities {
+		for _, u := range a.usages {
+			if !seen[u.res.id] {
+				seen[u.res.id] = true
+				out = append(out, u.res)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package job
+
+import (
+	"math"
+	"testing"
+)
+
+var testRef = PlatformRef{
+	NodeSpeed:  1e9,
+	LinkBW:     1e9,
+	PFSReadBW:  2e9,
+	PFSWriteBW: 2e9,
+	BBReadBW:   2e9,
+	BBWriteBW:  2e9,
+}
+
+func estJob(phases ...Phase) *Job {
+	return &Job{
+		Type: Rigid, NumNodes: 4,
+		Args: map[string]float64{"flops": 1e10, "bytes": 8e9},
+		App:  &Application{Phases: phases},
+	}
+}
+
+func TestEstimateCompute(t *testing.T) {
+	j := estJob(Phase{Tasks: []Task{{Kind: TaskCompute, Model: MustExprModel("flops/num_nodes")}}})
+	got, err := EstimateRuntime(j, 4, testRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("estimate %v, want 2.5", got)
+	}
+	// Doubling nodes halves the time under perfect scaling.
+	got8, _ := EstimateRuntime(j, 8, testRef)
+	if got8 != 1.25 {
+		t.Errorf("estimate(8) %v, want 1.25", got8)
+	}
+}
+
+func TestEstimateMatchesCommWeights(t *testing.T) {
+	cases := []struct {
+		pattern CommPattern
+		n       int
+		want    float64 // 1 GB payload
+	}{
+		{PatternAllReduce, 4, 1.5},
+		{PatternAllToAll, 4, 3},
+		{PatternRing, 4, 1},
+		{PatternBroadcast, 8, 3},
+		{PatternGather, 5, 4},
+	}
+	for _, tc := range cases {
+		j := estJob(Phase{Tasks: []Task{{Kind: TaskComm, Model: MustExprModel("1G"), Pattern: tc.pattern}}})
+		got, err := EstimateRuntime(j, tc.n, testRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s on %d nodes: %v, want %v", tc.pattern, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestEstimateIO(t *testing.T) {
+	j := estJob(Phase{Tasks: []Task{{Kind: TaskRead, Model: MustExprModel("bytes"), Target: TargetPFS}}})
+	// 8 GB over min(2 GB/s PFS, 2*1 GB/s links) = 4 s on 2 nodes.
+	got, err := EstimateRuntime(j, 2, testRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("pfs read estimate %v, want 4", got)
+	}
+	// Link-bound on 1 node: 8 s.
+	got1, _ := EstimateRuntime(j, 1, testRef)
+	if got1 != 8 {
+		t.Errorf("single-node estimate %v, want 8", got1)
+	}
+	// Node-local burst buffer: 8 GB over 2 nodes * 2 GB/s = 2 s.
+	jb := estJob(Phase{Tasks: []Task{{Kind: TaskWrite, Model: MustExprModel("bytes"), Target: TargetBB}}})
+	gotB, err := EstimateRuntime(jb, 2, testRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB != 2 {
+		t.Errorf("bb write estimate %v, want 2", gotB)
+	}
+}
+
+func TestEstimateIterationsAndPhases(t *testing.T) {
+	j := estJob(
+		Phase{Tasks: []Task{{Kind: TaskDelay, Model: MustExprModel("1")}}},
+		Phase{Iterations: 3, Tasks: []Task{{Kind: TaskDelay, Model: MustExprModel("2")}}},
+	)
+	got, err := EstimateRuntime(j, 1, testRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("estimate %v, want 7", got)
+	}
+}
+
+func TestEstimateIterationDependentModel(t *testing.T) {
+	// Cost shrinking with the iteration index must be summed per
+	// iteration, not multiplied.
+	j := estJob(Phase{Iterations: 4, Tasks: []Task{
+		{Kind: TaskDelay, Model: MustExprModel("iteration + 1")},
+	}})
+	got, err := EstimateRuntime(j, 1, testRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1+2+3+4 {
+		t.Errorf("estimate %v, want 10", got)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	j := estJob(Phase{Tasks: []Task{{Kind: TaskCompute, Model: MustExprModel("flops")}}})
+	if _, err := EstimateRuntime(j, 0, testRef); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := EstimateRuntime(j, 2, PlatformRef{}); err == nil {
+		t.Error("missing node speed accepted")
+	}
+	jp := estJob(Phase{Tasks: []Task{{Kind: TaskRead, Model: MustExprModel("1G"), Target: TargetPFS}}})
+	if _, err := EstimateRuntime(jp, 2, PlatformRef{NodeSpeed: 1}); err == nil {
+		t.Error("missing PFS bandwidth accepted")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	// Perfectly scaling job: efficiency 1 everywhere.
+	perfect := &Job{
+		Type: Malleable, NumNodesMin: 2, NumNodesMax: 16,
+		Args: map[string]float64{"flops": 1e10},
+		App: &Application{Phases: []Phase{{
+			Tasks: []Task{{Kind: TaskCompute, Model: MustExprModel("flops/num_nodes")}},
+		}}},
+	}
+	eff, err := Efficiency(perfect, 16, testRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eff-1) > 1e-9 {
+		t.Errorf("perfect efficiency %v", eff)
+	}
+	// Amdahl job with 20% serial fraction: efficiency drops with n.
+	amdahl := &Job{
+		Type: Malleable, NumNodesMin: 1, NumNodesMax: 16,
+		Args: map[string]float64{"flops": 1e10, "serial": 0.2},
+		App: &Application{Phases: []Phase{{
+			Tasks: []Task{{Kind: TaskCompute, Model: MustExprModel("flops*(serial + (1-serial)/num_nodes)")}},
+		}}},
+	}
+	eff2, err := Efficiency(amdahl, 2, testRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff16, err := Efficiency(amdahl, 16, testRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(eff2 > eff16) {
+		t.Errorf("efficiency should fall with scale: eff(2)=%v eff(16)=%v", eff2, eff16)
+	}
+	// Analytic check at n=2: T(1)=10, T(2)=6 -> eff = 10/(6*2) = 0.8333.
+	if math.Abs(eff2-10.0/12.0) > 1e-9 {
+		t.Errorf("eff(2) = %v, want %v", eff2, 10.0/12.0)
+	}
+}

@@ -1,0 +1,173 @@
+// Package job defines the workload model: jobs, their applications
+// (phases and tasks), performance models, workload files, synthetic
+// workload generation, and standard-workload-format (SWF) traces.
+//
+// The taxonomy follows Feitelson's classification, which ElastiSim adopts:
+//
+//   - rigid: the user fixes the node count; it never changes.
+//   - moldable: the scheduler picks the node count at start; it never
+//     changes afterwards.
+//   - malleable: the scheduler may change the node count while the job
+//     runs, but only at application-exposed scheduling points.
+//   - evolving: the application itself requests allocation changes at
+//     runtime; the scheduler grants or rejects them.
+package job
+
+import (
+	"fmt"
+)
+
+// Type classifies a job's flexibility.
+type Type string
+
+// The four job flexibility classes.
+const (
+	Rigid     Type = "rigid"
+	Moldable  Type = "moldable"
+	Malleable Type = "malleable"
+	Evolving  Type = "evolving"
+)
+
+// Adaptive reports whether the job's allocation may change after start.
+func (t Type) Adaptive() bool { return t == Malleable || t == Evolving }
+
+// Valid reports whether t is one of the four classes.
+func (t Type) Valid() bool {
+	switch t {
+	case Rigid, Moldable, Malleable, Evolving:
+		return true
+	}
+	return false
+}
+
+// ID identifies a job within a workload.
+type ID int
+
+// Job is one entry of a workload.
+type Job struct {
+	// ID is assigned by the workload loader (dense, starting at 0).
+	ID ID
+	// Name is an optional human-readable label.
+	Name string
+	// Type is the flexibility class.
+	Type Type
+	// SubmitTime is when the job enters the queue, in seconds.
+	SubmitTime float64
+	// NumNodes is the requested node count for rigid jobs.
+	NumNodes int
+	// NumNodesMin/NumNodesMax bound the allocation for non-rigid jobs.
+	NumNodesMin int
+	NumNodesMax int
+	// WallTimeLimit is the user's runtime estimate in seconds (0 = none).
+	// Backfilling schedulers rely on it; the engine kills jobs exceeding it.
+	WallTimeLimit float64
+	// Args are user-defined variables visible to all of the job's
+	// performance-model expressions.
+	Args map[string]float64
+	// App is the application model executed when the job runs.
+	App *Application
+	// ReconfigCost models the time (seconds) one reconfiguration takes,
+	// with num_nodes_old/num_nodes_new in scope. Nil means reconfiguration
+	// is free.
+	ReconfigCost *Model
+	// Dependencies lists jobs that must finish (complete or be killed —
+	// "afterany" semantics) before this job becomes schedulable. The
+	// dependency graph must be acyclic.
+	Dependencies []ID
+	// User attributes the job to an account for fair-share scheduling
+	// (optional).
+	User string
+}
+
+// Label returns the job's name, or a synthesized one.
+func (j *Job) Label() string {
+	if j.Name != "" {
+		return j.Name
+	}
+	return fmt.Sprintf("job%d", j.ID)
+}
+
+// MinNodes returns the smallest allocation the job accepts.
+func (j *Job) MinNodes() int {
+	if j.Type == Rigid {
+		return j.NumNodes
+	}
+	return j.NumNodesMin
+}
+
+// MaxNodes returns the largest allocation the job accepts.
+func (j *Job) MaxNodes() int {
+	if j.Type == Rigid {
+		return j.NumNodes
+	}
+	return j.NumNodesMax
+}
+
+// Validate checks the job against the given machine size.
+func (j *Job) Validate(totalNodes int) error {
+	if !j.Type.Valid() {
+		return fmt.Errorf("job %s: unknown type %q", j.Label(), j.Type)
+	}
+	if j.SubmitTime < 0 {
+		return fmt.Errorf("job %s: negative submit time", j.Label())
+	}
+	if j.WallTimeLimit < 0 {
+		return fmt.Errorf("job %s: negative walltime limit", j.Label())
+	}
+	switch j.Type {
+	case Rigid:
+		if j.NumNodes <= 0 {
+			return fmt.Errorf("job %s: rigid job needs num_nodes >= 1", j.Label())
+		}
+		if j.NumNodes > totalNodes {
+			return fmt.Errorf("job %s: requests %d nodes, machine has %d", j.Label(), j.NumNodes, totalNodes)
+		}
+	default:
+		if j.NumNodesMin <= 0 || j.NumNodesMax < j.NumNodesMin {
+			return fmt.Errorf("job %s: invalid node range [%d,%d]", j.Label(), j.NumNodesMin, j.NumNodesMax)
+		}
+		if j.NumNodesMin > totalNodes {
+			return fmt.Errorf("job %s: minimum %d nodes exceeds machine size %d", j.Label(), j.NumNodesMin, totalNodes)
+		}
+	}
+	if j.App == nil || len(j.App.Phases) == 0 {
+		return fmt.Errorf("job %s: empty application", j.Label())
+	}
+	if err := j.App.Validate(j.argNames()); err != nil {
+		return fmt.Errorf("job %s: %w", j.Label(), err)
+	}
+	if j.ReconfigCost != nil {
+		allowed := engineVars(j.argNames())
+		allowed["num_nodes_old"] = true
+		allowed["num_nodes_new"] = true
+		if err := j.ReconfigCost.Validate(allowed); err != nil {
+			return fmt.Errorf("job %s: reconfig cost: %w", j.Label(), err)
+		}
+	}
+	return nil
+}
+
+func (j *Job) argNames() []string {
+	names := make([]string, 0, len(j.Args))
+	for k := range j.Args {
+		names = append(names, k)
+	}
+	return names
+}
+
+// engineVars returns the set of variables the engine provides to every
+// expression, plus the job's own argument names.
+func engineVars(argNames []string) map[string]bool {
+	allowed := map[string]bool{
+		"num_nodes":   true,
+		"total_nodes": true,
+		"iteration":   true,
+		"iterations":  true,
+		"phase":       true,
+		"walltime":    true,
+	}
+	for _, a := range argNames {
+		allowed[a] = true
+	}
+	return allowed
+}

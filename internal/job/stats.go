@@ -1,0 +1,149 @@
+package job
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Stats summarizes a workload's composition; it backs the workinfo tool
+// and sanity checks in experiments.
+type Stats struct {
+	// Jobs is the total count.
+	Jobs int
+	// ByType tallies flexibility classes.
+	ByType map[Type]int
+	// ByUser tallies accounts ("" = unattributed).
+	ByUser map[string]int
+	// Span is the submission window (last - first submit time).
+	Span float64
+	// ArrivalRate is Jobs/Span (0 for a single instant).
+	ArrivalRate float64
+	// NodesHistogram counts jobs per base allocation size.
+	NodesHistogram map[int]int
+	// MinNodes/MaxNodes/MeanNodes describe base allocations.
+	MinNodes  int
+	MaxNodes  int
+	MeanNodes float64
+	// WithWalltime counts jobs carrying runtime estimates.
+	WithWalltime int
+	// WithDependencies counts jobs gated on other jobs.
+	WithDependencies int
+	// SchedulingPoints sums the reconfiguration opportunities the
+	// applications expose.
+	SchedulingPoints int
+	// EvolvingRequests counts jobs that issue evolving requests.
+	EvolvingRequests int
+}
+
+// baseNodes is the job's starting allocation preference.
+func baseNodes(j *Job) int {
+	if j.NumNodes > 0 {
+		return j.NumNodes
+	}
+	return j.MinNodes()
+}
+
+// Stats computes summary statistics.
+func (w *Workload) Stats() Stats {
+	s := Stats{
+		Jobs:           len(w.Jobs),
+		ByType:         map[Type]int{},
+		ByUser:         map[string]int{},
+		NodesHistogram: map[int]int{},
+	}
+	if len(w.Jobs) == 0 {
+		return s
+	}
+	first, last := w.Jobs[0].SubmitTime, w.Jobs[0].SubmitTime
+	totalNodes := 0
+	s.MinNodes = baseNodes(w.Jobs[0])
+	for _, j := range w.Jobs {
+		s.ByType[j.Type]++
+		s.ByUser[j.User]++
+		n := baseNodes(j)
+		s.NodesHistogram[n]++
+		totalNodes += n
+		if n < s.MinNodes {
+			s.MinNodes = n
+		}
+		if n > s.MaxNodes {
+			s.MaxNodes = n
+		}
+		if j.SubmitTime < first {
+			first = j.SubmitTime
+		}
+		if j.SubmitTime > last {
+			last = j.SubmitTime
+		}
+		if j.WallTimeLimit > 0 {
+			s.WithWalltime++
+		}
+		if len(j.Dependencies) > 0 {
+			s.WithDependencies++
+		}
+		s.SchedulingPoints += j.App.TotalSchedulingPoints()
+		if j.App.HasEvolvingRequests() {
+			s.EvolvingRequests++
+		}
+	}
+	s.Span = last - first
+	if s.Span > 0 {
+		s.ArrivalRate = float64(len(w.Jobs)) / s.Span
+	}
+	s.MeanNodes = float64(totalNodes) / float64(len(w.Jobs))
+	return s
+}
+
+// Fprint renders the stats as a human-readable report.
+func (s *Stats) Fprint(w io.Writer, name string) {
+	fmt.Fprintf(w, "workload      %s\n", name)
+	fmt.Fprintf(w, "jobs          %d\n", s.Jobs)
+	fmt.Fprintf(w, "span          %.1f s (%.4f jobs/s)\n", s.Span, s.ArrivalRate)
+	fmt.Fprintf(w, "nodes         min %d  mean %.1f  max %d\n", s.MinNodes, s.MeanNodes, s.MaxNodes)
+	fmt.Fprintf(w, "walltimes     %d/%d jobs\n", s.WithWalltime, s.Jobs)
+	fmt.Fprintf(w, "dependencies  %d jobs gated\n", s.WithDependencies)
+	fmt.Fprintf(w, "sched points  %d total\n", s.SchedulingPoints)
+	fmt.Fprintf(w, "evolving      %d jobs issue requests\n", s.EvolvingRequests)
+
+	fmt.Fprintln(w, "by type:")
+	types := make([]string, 0, len(s.ByType))
+	for t := range s.ByType {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Fprintf(w, "  %-10s %d\n", t, s.ByType[Type(t)])
+	}
+
+	if len(s.ByUser) > 1 || (len(s.ByUser) == 1 && s.ByUser[""] == 0) {
+		fmt.Fprintln(w, "by user:")
+		users := make([]string, 0, len(s.ByUser))
+		for u := range s.ByUser {
+			users = append(users, u)
+		}
+		sort.Strings(users)
+		for _, u := range users {
+			label := u
+			if label == "" {
+				label = "(none)"
+			}
+			fmt.Fprintf(w, "  %-10s %d\n", label, s.ByUser[u])
+		}
+	}
+
+	fmt.Fprintln(w, "allocation histogram:")
+	sizes := make([]int, 0, len(s.NodesHistogram))
+	for n := range s.NodesHistogram {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	for _, n := range sizes {
+		count := s.NodesHistogram[n]
+		bar := ""
+		for i := 0; i < count && i < 60; i++ {
+			bar += "#"
+		}
+		fmt.Fprintf(w, "  %4d nodes %4d %s\n", n, count, bar)
+	}
+}

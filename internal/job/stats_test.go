@@ -1,0 +1,93 @@
+package job
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStatsBasics(t *testing.T) {
+	w, err := Generate(Config{
+		Seed: 3, Count: 60,
+		Arrival:      Arrival{Kind: ArrivalPoisson, Rate: 0.1},
+		Nodes:        [2]int{2, 16},
+		MachineNodes: 32,
+		NodeSpeed:    1e11,
+		TypeShares:   map[Type]float64{Rigid: 1, Malleable: 1, Evolving: 1},
+		Users:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Stats()
+	if s.Jobs != 60 {
+		t.Errorf("jobs %d", s.Jobs)
+	}
+	sum := 0
+	for _, c := range s.ByType {
+		sum += c
+	}
+	if sum != 60 {
+		t.Errorf("type counts sum to %d", sum)
+	}
+	if len(s.ByUser) != 3 {
+		t.Errorf("users %d, want 3", len(s.ByUser))
+	}
+	if s.Span <= 0 || s.ArrivalRate <= 0 {
+		t.Errorf("span %v rate %v", s.Span, s.ArrivalRate)
+	}
+	if s.MinNodes < 2 || s.MaxNodes > 16 || s.MeanNodes < float64(s.MinNodes) || s.MeanNodes > float64(s.MaxNodes) {
+		t.Errorf("node stats %d/%.1f/%d", s.MinNodes, s.MeanNodes, s.MaxNodes)
+	}
+	if s.WithWalltime != 60 {
+		t.Errorf("walltimes %d", s.WithWalltime)
+	}
+	if s.SchedulingPoints == 0 {
+		t.Error("no scheduling points counted")
+	}
+	if s.EvolvingRequests == 0 {
+		t.Error("no evolving jobs counted")
+	}
+	histSum := 0
+	for _, c := range s.NodesHistogram {
+		histSum += c
+	}
+	if histSum != 60 {
+		t.Errorf("histogram sums to %d", histSum)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	w := &Workload{}
+	s := w.Stats()
+	if s.Jobs != 0 || s.Span != 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}
+
+func TestStatsFprint(t *testing.T) {
+	w := &Workload{Jobs: []*Job{
+		{ID: 0, Name: "a", Type: Rigid, NumNodes: 4, User: "alice", WallTimeLimit: 10, App: simpleApp(),
+			Args: map[string]float64{"flops": 1}},
+		{ID: 1, Name: "b", Type: Malleable, NumNodesMin: 2, NumNodesMax: 8, NumNodes: 4, User: "bob",
+			App: simpleApp(), Args: map[string]float64{"flops": 1}, Dependencies: []ID{0}},
+	}}
+	var buf bytes.Buffer
+	s := w.Stats()
+	s.Fprint(&buf, "demo")
+	out := buf.String()
+	for _, want := range []string{
+		"workload      demo",
+		"jobs          2",
+		"rigid      1",
+		"malleable  1",
+		"alice",
+		"bob",
+		"dependencies  1 jobs gated",
+		"4 nodes    2 ##",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

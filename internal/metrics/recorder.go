@@ -1,0 +1,439 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/job"
+)
+
+// JobRecord is the per-job outcome of a simulation.
+type JobRecord struct {
+	ID   job.ID   `json:"id"`
+	Name string   `json:"name"`
+	Type job.Type `json:"type"`
+	// User is the submitting account ("" when unattributed).
+	User string `json:"user,omitempty"`
+	// Submit, Start and End are simulation timestamps in seconds. Start is
+	// negative while the job has not started, End while it has not ended.
+	Submit float64 `json:"submit"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	// Killed reports walltime-limit termination.
+	Killed bool `json:"killed,omitempty"`
+	// NodeSeconds integrates the allocation size over the job's runtime.
+	NodeSeconds float64 `json:"node_seconds"`
+	// Reconfigs counts applied allocation changes.
+	Reconfigs int `json:"reconfigs,omitempty"`
+	// InitialNodes/FinalNodes/PeakNodes describe the allocation history.
+	InitialNodes int `json:"initial_nodes"`
+	FinalNodes   int `json:"final_nodes"`
+	PeakNodes    int `json:"peak_nodes"`
+	// RequestedNodes and WallTime echo the request (for SWF export).
+	RequestedNodes int     `json:"requested_nodes"`
+	WallTime       float64 `json:"walltime,omitempty"`
+
+	lastChange float64
+	curNodes   int
+}
+
+// Wait returns the queueing delay.
+func (r *JobRecord) Wait() float64 { return r.Start - r.Submit }
+
+// Runtime returns the execution time.
+func (r *JobRecord) Runtime() float64 { return r.End - r.Start }
+
+// Turnaround returns submission-to-completion time.
+func (r *JobRecord) Turnaround() float64 { return r.End - r.Submit }
+
+// BoundedSlowdown returns the bounded slowdown with the conventional
+// 10-second threshold: max(1, turnaround / max(runtime, 10)).
+func (r *JobRecord) BoundedSlowdown() float64 {
+	const tau = 10.0
+	denom := r.Runtime()
+	if denom < tau {
+		denom = tau
+	}
+	s := r.Turnaround() / denom
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// GanttEntry is one allocation segment of a job (between reconfigurations).
+type GanttEntry struct {
+	Job   job.ID  `json:"job"`
+	Name  string  `json:"name"`
+	Nodes int     `json:"nodes"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// Recorder accumulates statistics during a simulation run. It is driven by
+// the engine's lifecycle callbacks.
+type Recorder struct {
+	totalNodes int
+	records    map[job.ID]*JobRecord
+	order      []job.ID
+	busy       Timeline // allocated nodes
+	queued     Timeline // jobs waiting
+	gantt      []GanttEntry
+	reconfigs  int
+	finalTime  float64
+}
+
+// NewRecorder creates a recorder for a machine of totalNodes nodes.
+func NewRecorder(totalNodes int) *Recorder {
+	return &Recorder{totalNodes: totalNodes, records: map[job.ID]*JobRecord{}}
+}
+
+func (rec *Recorder) get(id job.ID) *JobRecord {
+	r, ok := rec.records[id]
+	if !ok {
+		panic(fmt.Sprintf("metrics: unknown job %d", id))
+	}
+	return r
+}
+
+// JobSubmitted registers a job entering the queue.
+func (rec *Recorder) JobSubmitted(j *job.Job, t float64) {
+	if _, dup := rec.records[j.ID]; dup {
+		panic(fmt.Sprintf("metrics: job %d submitted twice", j.ID))
+	}
+	rec.records[j.ID] = &JobRecord{
+		ID: j.ID, Name: j.Label(), Type: j.Type, User: j.User,
+		Submit: t, Start: -1, End: -1,
+		RequestedNodes: j.MinNodes(), WallTime: j.WallTimeLimit,
+	}
+	rec.order = append(rec.order, j.ID)
+	rec.queued.Add(t, 1)
+}
+
+// JobStarted registers a job beginning execution on nodes.
+func (rec *Recorder) JobStarted(id job.ID, t float64, nodes int) {
+	r := rec.get(id)
+	r.Start = t
+	r.InitialNodes = nodes
+	r.PeakNodes = nodes
+	r.curNodes = nodes
+	r.lastChange = t
+	rec.queued.Add(t, -1)
+	rec.busy.Add(t, float64(nodes))
+}
+
+// JobReconfigured registers an applied allocation change.
+func (rec *Recorder) JobReconfigured(id job.ID, t float64, newNodes int) {
+	r := rec.get(id)
+	r.NodeSeconds += float64(r.curNodes) * (t - r.lastChange)
+	rec.busy.Add(t, float64(newNodes-r.curNodes))
+	r.curNodes = newNodes
+	r.lastChange = t
+	r.Reconfigs++
+	rec.reconfigs++
+	if newNodes > r.PeakNodes {
+		r.PeakNodes = newNodes
+	}
+}
+
+// JobFinished registers completion (killed = walltime exceeded).
+func (rec *Recorder) JobFinished(id job.ID, t float64, killed bool) {
+	r := rec.get(id)
+	r.NodeSeconds += float64(r.curNodes) * (t - r.lastChange)
+	rec.busy.Add(t, -float64(r.curNodes))
+	r.End = t
+	r.Killed = killed
+	r.FinalNodes = r.curNodes
+	r.curNodes = 0
+	if t > rec.finalTime {
+		rec.finalTime = t
+	}
+}
+
+// JobAbandoned registers a job killed while still pending (never started).
+func (rec *Recorder) JobAbandoned(id job.ID, t float64) {
+	r := rec.get(id)
+	if r.Start >= 0 {
+		panic(fmt.Sprintf("metrics: job %d abandoned after start", id))
+	}
+	rec.queued.Add(t, -1)
+	r.End = t
+	r.Killed = true
+	if t > rec.finalTime {
+		rec.finalTime = t
+	}
+}
+
+// AddGantt records one allocation segment for trace export.
+func (rec *Recorder) AddGantt(id job.ID, name string, nodes int, start, end float64) {
+	rec.gantt = append(rec.gantt, GanttEntry{Job: id, Name: name, Nodes: nodes, Start: start, End: end})
+}
+
+// Records returns all job records in submission order.
+func (rec *Recorder) Records() []*JobRecord {
+	out := make([]*JobRecord, 0, len(rec.order))
+	for _, id := range rec.order {
+		out = append(out, rec.records[id])
+	}
+	return out
+}
+
+// Record returns one job's record, or nil.
+func (rec *Recorder) Record(id job.ID) *JobRecord { return rec.records[id] }
+
+// BusyTimeline returns the allocated-nodes step function.
+func (rec *Recorder) BusyTimeline() *Timeline { return &rec.busy }
+
+// QueueTimeline returns the queued-jobs step function.
+func (rec *Recorder) QueueTimeline() *Timeline { return &rec.queued }
+
+// Gantt returns the recorded allocation segments.
+func (rec *Recorder) Gantt() []GanttEntry { return rec.gantt }
+
+// TotalNodes returns the machine size.
+func (rec *Recorder) TotalNodes() int { return rec.totalNodes }
+
+// Summary aggregates the run.
+type Summary struct {
+	// Jobs is the number of submitted jobs; Completed/Killed partition the
+	// finished ones.
+	Jobs      int `json:"jobs"`
+	Completed int `json:"completed"`
+	Killed    int `json:"killed"`
+	// Makespan is the completion time of the last job.
+	Makespan float64 `json:"makespan"`
+	// Utilization is busy node-seconds over totalNodes * makespan.
+	Utilization float64 `json:"utilization"`
+	// MeanWait/P95Wait describe queueing delay (finished jobs only).
+	MeanWait float64 `json:"mean_wait"`
+	P95Wait  float64 `json:"p95_wait"`
+	// MeanTurnaround is submission-to-completion.
+	MeanTurnaround float64 `json:"mean_turnaround"`
+	// MeanSlowdown and MaxSlowdown are bounded slowdowns.
+	MeanSlowdown float64 `json:"mean_slowdown"`
+	MaxSlowdown  float64 `json:"max_slowdown"`
+	// Reconfigs counts malleable/evolving allocation changes.
+	Reconfigs int `json:"reconfigs"`
+	// NodeSeconds is total busy capacity.
+	NodeSeconds float64 `json:"node_seconds"`
+}
+
+// Summary computes aggregates over finished jobs.
+func (rec *Recorder) Summary() Summary {
+	s := Summary{Jobs: len(rec.records), Reconfigs: rec.reconfigs, Makespan: rec.finalTime}
+	var waits, slowdowns []float64
+	var turnSum float64
+	for _, id := range rec.order {
+		r := rec.records[id]
+		if r.End < 0 {
+			continue
+		}
+		if r.Killed {
+			s.Killed++
+		} else {
+			s.Completed++
+		}
+		if r.Start < 0 {
+			continue // abandoned before starting: no wait/slowdown stats
+		}
+		waits = append(waits, r.Wait())
+		slowdowns = append(slowdowns, r.BoundedSlowdown())
+		turnSum += r.Turnaround()
+		s.NodeSeconds += r.NodeSeconds
+	}
+	n := len(waits)
+	if n > 0 {
+		s.MeanWait = mean(waits)
+		s.P95Wait = percentile(waits, 0.95)
+		s.MeanTurnaround = turnSum / float64(n)
+		s.MeanSlowdown = mean(slowdowns)
+		s.MaxSlowdown = maxOf(slowdowns)
+	}
+	if rec.finalTime > 0 && rec.totalNodes > 0 {
+		s.Utilization = rec.busy.Integral(0, rec.finalTime) / (float64(rec.totalNodes) * rec.finalTime)
+	}
+	return s
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// percentile returns the p-quantile (0..1) using nearest-rank on a sorted
+// copy.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// WriteJobsCSV emits one row per finished job.
+func (rec *Recorder) WriteJobsCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "id,name,type,submit,start,end,wait,runtime,turnaround,slowdown,nodes_initial,nodes_final,nodes_peak,reconfigs,node_seconds,killed"); err != nil {
+		return err
+	}
+	for _, id := range rec.order {
+		r := rec.records[id]
+		if r.End < 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%g,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d,%g,%t\n",
+			r.ID, r.Name, r.Type, r.Submit, r.Start, r.End,
+			r.Wait(), r.Runtime(), r.Turnaround(), r.BoundedSlowdown(),
+			r.InitialNodes, r.FinalNodes, r.PeakNodes, r.Reconfigs, r.NodeSeconds, r.Killed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGanttJSON emits the allocation segments as JSON.
+func (rec *Recorder) WriteGanttJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec.gantt)
+}
+
+// GroupStats aggregates finished jobs within one group (see GroupSummary).
+type GroupStats struct {
+	Jobs           int     `json:"jobs"`
+	Completed      int     `json:"completed"`
+	Killed         int     `json:"killed"`
+	MeanWait       float64 `json:"mean_wait"`
+	MeanTurnaround float64 `json:"mean_turnaround"`
+	MeanSlowdown   float64 `json:"mean_slowdown"`
+	NodeSeconds    float64 `json:"node_seconds"`
+}
+
+// GroupSummary aggregates finished jobs by an arbitrary key — pass
+// ByType or ByUser (or your own function) to break batch metrics down by
+// flexibility class or account.
+func (rec *Recorder) GroupSummary(key func(*JobRecord) string) map[string]GroupStats {
+	acc := map[string]*GroupStats{}
+	for _, id := range rec.order {
+		r := rec.records[id]
+		if r.End < 0 {
+			continue
+		}
+		k := key(r)
+		g := acc[k]
+		if g == nil {
+			g = &GroupStats{}
+			acc[k] = g
+		}
+		g.Jobs++
+		if r.Killed {
+			g.Killed++
+		} else {
+			g.Completed++
+		}
+		if r.Start < 0 {
+			continue
+		}
+		g.MeanWait += r.Wait()
+		g.MeanTurnaround += r.Turnaround()
+		g.MeanSlowdown += r.BoundedSlowdown()
+		g.NodeSeconds += r.NodeSeconds
+	}
+	out := make(map[string]GroupStats, len(acc))
+	for k, g := range acc {
+		started := float64(g.Jobs - abandonedCount(rec, k, key))
+		if started > 0 {
+			g.MeanWait /= started
+			g.MeanTurnaround /= started
+			g.MeanSlowdown /= started
+		}
+		out[k] = *g
+	}
+	return out
+}
+
+func abandonedCount(rec *Recorder, k string, key func(*JobRecord) string) int {
+	n := 0
+	for _, id := range rec.order {
+		r := rec.records[id]
+		if r.End >= 0 && r.Start < 0 && key(r) == k {
+			n++
+		}
+	}
+	return n
+}
+
+// ByType keys GroupSummary by flexibility class.
+func ByType(r *JobRecord) string { return string(r.Type) }
+
+// ByUser keys GroupSummary by account ("(none)" when unattributed).
+func ByUser(r *JobRecord) string {
+	if r.User == "" {
+		return "(none)"
+	}
+	return r.User
+}
+
+// WriteSWF exports finished jobs in the Standard Workload Format, the
+// interchange format other batch simulators and the Parallel Workloads
+// Archive consume. Node counts are scaled by coresPerNode into processor
+// counts; killed jobs carry status 0 (failed), completed ones status 1.
+// Adaptive jobs report their initial allocation as used processors (SWF
+// has no notion of reconfiguration).
+func (rec *Recorder) WriteSWF(w io.Writer, coresPerNode int) error {
+	if coresPerNode <= 0 {
+		coresPerNode = 1
+	}
+	if _, err := fmt.Fprintln(w, "; generated by elastisim-go"); err != nil {
+		return err
+	}
+	for _, id := range rec.order {
+		r := rec.records[id]
+		if r.End < 0 || r.Start < 0 {
+			continue
+		}
+		status := 1
+		if r.Killed {
+			status = 0
+		}
+		reqTime := -1.0
+		if r.WallTime > 0 {
+			reqTime = r.WallTime
+		}
+		// Fields: id submit wait run usedProcs avgCPU usedMem reqProcs
+		// reqTime reqMem status user group app queue partition preceding
+		// think.
+		if _, err := fmt.Fprintf(w, "%d %.0f %.0f %.0f %d -1 -1 %d %.0f -1 %d -1 -1 -1 -1 -1 -1 -1\n",
+			int(r.ID)+1, r.Submit, r.Wait(), r.Runtime(),
+			r.InitialNodes*coresPerNode, r.RequestedNodes*coresPerNode,
+			reqTime, status); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocator tracks node ownership. Node selection is deterministic
+// (lowest-numbered free nodes first) so simulations are reproducible.
+type Allocator struct {
+	total int
+	// owner[i] == "" means free; otherwise the owning job's key.
+	owner []string
+	free  int
+}
+
+// NewAllocator creates an allocator for a platform with n nodes.
+func NewAllocator(n int) *Allocator {
+	return &Allocator{total: n, owner: make([]string, n), free: n}
+}
+
+// Total returns the machine size.
+func (a *Allocator) Total() int { return a.total }
+
+// Free returns the number of unallocated nodes.
+func (a *Allocator) Free() int { return a.free }
+
+// Used returns the number of allocated nodes.
+func (a *Allocator) Used() int { return a.total - a.free }
+
+// Owner returns the owner of a node, or "" when free.
+func (a *Allocator) Owner(id NodeID) string {
+	return a.owner[a.check(id)]
+}
+
+func (a *Allocator) check(id NodeID) int {
+	if int(id) < 0 || int(id) >= a.total {
+		panic(fmt.Sprintf("platform: node %d out of range [0,%d)", id, a.total))
+	}
+	return int(id)
+}
+
+// FreeNodes returns the IDs of all free nodes in ascending order.
+func (a *Allocator) FreeNodes() []NodeID {
+	out := make([]NodeID, 0, a.free)
+	for i, o := range a.owner {
+		if o == "" {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// NodesOf returns the nodes owned by the given owner, in ascending order.
+func (a *Allocator) NodesOf(owner string) []NodeID {
+	var out []NodeID
+	for i, o := range a.owner {
+		if o == owner {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Allocate claims count free nodes (lowest IDs first) for owner.
+func (a *Allocator) Allocate(owner string, count int) ([]NodeID, error) {
+	if owner == "" {
+		return nil, fmt.Errorf("platform: empty owner")
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("platform: allocation of %d nodes", count)
+	}
+	if count > a.free {
+		return nil, fmt.Errorf("platform: %d nodes requested, %d free", count, a.free)
+	}
+	out := make([]NodeID, 0, count)
+	for i := 0; i < a.total && len(out) < count; i++ {
+		if a.owner[i] == "" {
+			a.owner[i] = owner
+			out = append(out, NodeID(i))
+		}
+	}
+	a.free -= count
+	return out, nil
+}
+
+// AllocateNodes claims the specific nodes for owner. It fails without side
+// effects if any node is taken.
+func (a *Allocator) AllocateNodes(owner string, ids []NodeID) error {
+	if owner == "" {
+		return fmt.Errorf("platform: empty owner")
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("platform: empty node list")
+	}
+	seen := make(map[NodeID]bool, len(ids))
+	for _, id := range ids {
+		i := a.check(id)
+		if seen[id] {
+			return fmt.Errorf("platform: node %d listed twice", id)
+		}
+		seen[id] = true
+		if a.owner[i] != "" {
+			return fmt.Errorf("platform: node %d already owned by %s", id, a.owner[i])
+		}
+	}
+	for _, id := range ids {
+		a.owner[int(id)] = owner
+	}
+	a.free -= len(ids)
+	return nil
+}
+
+// Release frees the given nodes, verifying ownership.
+func (a *Allocator) Release(owner string, ids []NodeID) error {
+	for _, id := range ids {
+		i := a.check(id)
+		if a.owner[i] != owner {
+			return fmt.Errorf("platform: node %d owned by %q, not %q", id, a.owner[i], owner)
+		}
+	}
+	for _, id := range ids {
+		a.owner[int(id)] = ""
+	}
+	a.free += len(ids)
+	return nil
+}
+
+// ReleaseAll frees every node held by owner and returns how many there were.
+func (a *Allocator) ReleaseAll(owner string) int {
+	n := 0
+	for i, o := range a.owner {
+		if o == owner {
+			a.owner[i] = ""
+			n++
+		}
+	}
+	a.free += n
+	return n
+}
+
+// SortNodeIDs sorts a node-ID slice ascending, in place, and returns it.
+func SortNodeIDs(ids []NodeID) []NodeID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/job"
+)
+
+// Adaptive is the malleability-aware policy this reproduction evaluates
+// against rigid baselines. It layers three mechanisms on top of an EASY
+// start discipline:
+//
+//  1. shrink-to-admit: when pending jobs cannot start, running malleable
+//     jobs currently at scheduling points are shrunk (largest first, never
+//     below their minimum) to free enough nodes;
+//  2. expand-to-fill: after starts, leftover free nodes are distributed
+//     round-robin to malleable jobs at scheduling points (smallest
+//     allocation first, up to each job's maximum) — dynamic
+//     equipartitioning;
+//  3. evolving arbitration: shrink requests are always granted; grow
+//     requests are granted up to what the free pool allows.
+type Adaptive struct {
+	// Sizing picks start sizes (default SizeRequested).
+	Sizing SizePolicy
+	// SizeFn overrides Sizing when set (e.g. EfficiencySizer).
+	SizeFn SizeFunc
+	// NoShrink disables mechanism 1 (for ablations).
+	NoShrink bool
+	// NoExpand disables mechanism 2 (for ablations).
+	NoExpand bool
+	// ShrinkReserve keeps this many nodes unreclaimed per malleable job
+	// above its minimum (0 = shrink all the way to the minimum).
+	ShrinkReserve int
+}
+
+// Name implements Algorithm.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// Schedule implements Algorithm.
+func (a *Adaptive) Schedule(inv *Invocation) []Decision {
+	free := inv.FreeNodes
+
+	// Malleable jobs we may resize right now.
+	var resizable []*JobView
+	for _, v := range inv.Running {
+		if v.Job.Type == job.Malleable && v.AtSchedulingPoint {
+			resizable = append(resizable, v)
+		}
+	}
+	// Reclaimable capacity if we shrank everything to minimum (+ reserve).
+	reclaimable := 0
+	floorOf := func(v *JobView) int {
+		f := v.Job.MinNodes() + a.ShrinkReserve
+		if f > v.Nodes {
+			f = v.Nodes
+		}
+		return f
+	}
+	if !a.NoShrink {
+		for _, v := range resizable {
+			reclaimable += v.Nodes - floorOf(v)
+		}
+	}
+
+	// Plan starts in FCFS order against free + reclaimable.
+	type plannedStart struct {
+		view *JobView
+		n    int
+	}
+	var starts []plannedStart
+	virtual := free + reclaimable
+	blockedAt := -1
+	for i, v := range inv.Pending {
+		n := pickSize(v, virtual, a.SizeFn, a.Sizing)
+		if n == 0 {
+			blockedAt = i
+			break
+		}
+		starts = append(starts, plannedStart{v, n})
+		virtual -= n
+	}
+
+	// How much shrinking do the planned starts actually require?
+	needed := 0
+	for _, s := range starts {
+		needed += s.n
+	}
+	shrinkBy := needed - free
+	if shrinkBy < 0 {
+		shrinkBy = 0
+	}
+
+	var out []Decision
+	// Issue shrinks, largest allocation first, until covered.
+	if shrinkBy > 0 {
+		order := append([]*JobView(nil), resizable...)
+		sort.SliceStable(order, func(i, j int) bool { return order[i].Nodes > order[j].Nodes })
+		for _, v := range order {
+			if shrinkBy == 0 {
+				break
+			}
+			give := v.Nodes - floorOf(v)
+			if give <= 0 {
+				continue
+			}
+			if give > shrinkBy {
+				give = shrinkBy
+			}
+			newSize := v.Nodes - give
+			out = append(out, Resize(v.ID, newSize))
+			v.Nodes = newSize // track locally for the expand phase
+			shrinkBy -= give
+			free += give
+		}
+	}
+
+	// Issue starts.
+	for _, s := range starts {
+		out = append(out, Start(s.view.ID, s.n))
+		free -= s.n
+	}
+
+	// EASY-style backfill of the remaining queue against remaining free
+	// nodes (no further shrinking for backfilled jobs).
+	if blockedAt >= 0 && blockedAt < len(inv.Pending)-1 && free > 0 {
+		head := inv.Pending[blockedAt]
+		shadow, extra := shadowTime(inv, free, head.Job.MinNodes())
+		for _, v := range inv.Pending[blockedAt+1:] {
+			n := pickSize(v, free, a.SizeFn, a.Sizing)
+			if n == 0 {
+				continue
+			}
+			endsBeforeShadow := inv.Now+v.WallTimeOrInf() <= shadow
+			fitsExtra := n <= extra
+			if !endsBeforeShadow && !fitsExtra {
+				continue
+			}
+			out = append(out, Start(v.ID, n))
+			free -= n
+			if fitsExtra && !endsBeforeShadow {
+				extra -= n
+			}
+		}
+	}
+
+	// Answer evolving requests before expanding, so grants have priority
+	// over opportunistic growth.
+	for _, v := range inv.Running {
+		if v.EvolvingRequest == 0 {
+			continue
+		}
+		req := v.EvolvingRequest
+		cur := v.Nodes
+		switch {
+		case req <= cur:
+			// Shrinking (or no-op) requests always granted.
+			out = append(out, Decision{Kind: DecisionGrant, Job: v.ID, NumNodes: req})
+		default:
+			grow := req - cur
+			if grow > free {
+				grow = free
+			}
+			granted := cur + grow
+			if granted > v.Job.MaxNodes() {
+				granted = v.Job.MaxNodes()
+			}
+			if granted <= cur {
+				out = append(out, Decision{Kind: DecisionDeny, Job: v.ID})
+				continue
+			}
+			out = append(out, Decision{Kind: DecisionGrant, Job: v.ID, NumNodes: granted})
+			free -= granted - cur
+		}
+	}
+
+	// Expand-to-fill: hand leftover nodes to resizable malleable jobs,
+	// smallest first, one node at a time (equipartitioning).
+	if !a.NoExpand && free > 0 && len(resizable) > 0 {
+		grows := map[job.ID]int{}
+		for free > 0 {
+			// Smallest current allocation with headroom.
+			var pickV *JobView
+			for _, v := range resizable {
+				if v.Nodes+grows[v.ID] >= v.Job.MaxNodes() {
+					continue
+				}
+				if pickV == nil || v.Nodes+grows[v.ID] < pickV.Nodes+grows[pickV.ID] {
+					pickV = v
+				}
+			}
+			if pickV == nil {
+				break
+			}
+			grows[pickV.ID]++
+			free--
+		}
+		for _, v := range resizable {
+			if g := grows[v.ID]; g > 0 {
+				out = append(out, Resize(v.ID, v.Nodes+g))
+			}
+		}
+	}
+	return out
+}

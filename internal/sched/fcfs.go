@@ -1,0 +1,74 @@
+package sched
+
+// FCFS is strict first-come-first-served: jobs start in submission order;
+// if the head of the queue does not fit, nothing behind it starts either.
+type FCFS struct {
+	// Sizing picks moldable sizes (default SizeRequested).
+	Sizing SizePolicy
+	// SizeFn overrides Sizing when set (e.g. EfficiencySizer).
+	SizeFn SizeFunc
+}
+
+// Name implements Algorithm.
+func (f *FCFS) Name() string { return "fcfs" }
+
+// Schedule implements Algorithm.
+func (f *FCFS) Schedule(inv *Invocation) []Decision {
+	var out []Decision
+	free := inv.FreeNodes
+	for _, v := range inv.Pending {
+		n := pickSize(v, free, f.SizeFn, f.Sizing)
+		if n == 0 {
+			break // head blocks the queue
+		}
+		out = append(out, Start(v.ID, n))
+		free -= n
+	}
+	return out
+}
+
+// SJF starts jobs shortest-first by walltime estimate; jobs without an
+// estimate sort last. Ties fall back to submission order. Like FCFS it
+// does not reserve: if the shortest job does not fit, nothing starts.
+type SJF struct {
+	Sizing SizePolicy
+	SizeFn SizeFunc
+}
+
+// Name implements Algorithm.
+func (s *SJF) Name() string { return "sjf" }
+
+// Schedule implements Algorithm.
+func (s *SJF) Schedule(inv *Invocation) []Decision {
+	order := make([]*JobView, len(inv.Pending))
+	copy(order, inv.Pending)
+	// Insertion sort keeps it stable without importing sort for a slice
+	// this small... but clarity wins: use a stable comparison sort.
+	stableSortBy(order, func(a, b *JobView) bool {
+		return a.WallTimeOrInf() < b.WallTimeOrInf()
+	})
+	var out []Decision
+	free := inv.FreeNodes
+	for _, v := range order {
+		n := pickSize(v, free, s.SizeFn, s.Sizing)
+		if n == 0 {
+			break
+		}
+		out = append(out, Start(v.ID, n))
+		free -= n
+	}
+	return out
+}
+
+// stableSortBy is a minimal stable sort (binary insertion) for view slices.
+func stableSortBy(xs []*JobView, less func(a, b *JobView) bool) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i
+		for j > 0 && less(v, xs[j-1]) {
+			xs[j] = xs[j-1]
+			j--
+		}
+		xs[j] = v
+	}
+}

@@ -1,0 +1,109 @@
+package sched
+
+import "sort"
+
+// LocalityPack picks n nodes from the free list minimizing the number of
+// leaf-switch groups the allocation spans (tree topologies): it fills the
+// fullest groups first, breaking ties by lower group index. With
+// groupSize <= 0 it degrades to lowest-numbered-first, the engine's own
+// default. The returned slice is ascending.
+func LocalityPack(freeList []int, n, groupSize int) []int {
+	if n <= 0 || n > len(freeList) {
+		return nil
+	}
+	if groupSize <= 0 {
+		out := append([]int(nil), freeList[:n]...)
+		sort.Ints(out)
+		return out
+	}
+	// Bucket free nodes by group.
+	groups := map[int][]int{}
+	for _, id := range freeList {
+		g := id / groupSize
+		groups[g] = append(groups[g], id)
+	}
+	order := make([]int, 0, len(groups))
+	for g := range groups {
+		order = append(order, g)
+	}
+	// Fullest groups first; ties by group index for determinism.
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if len(groups[a]) != len(groups[b]) {
+			return len(groups[a]) > len(groups[b])
+		}
+		return a < b
+	})
+	out := make([]int, 0, n)
+	for _, g := range order {
+		for _, id := range groups[g] {
+			if len(out) == n {
+				break
+			}
+			out = append(out, id)
+		}
+		if len(out) == n {
+			break
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Packed wraps another algorithm and rewrites its start decisions to use
+// locality-packed placement. It leaves every other decision untouched.
+type Packed struct {
+	// Base provides the scheduling logic (default: EASY).
+	Base Algorithm
+}
+
+// Name implements Algorithm.
+func (p *Packed) Name() string {
+	return "packed+" + p.base().Name()
+}
+
+func (p *Packed) base() Algorithm {
+	if p.Base == nil {
+		return &EASY{}
+	}
+	return p.Base
+}
+
+// Schedule implements Algorithm.
+func (p *Packed) Schedule(inv *Invocation) []Decision {
+	decisions := p.base().Schedule(inv)
+	if inv.GroupSize <= 0 {
+		return decisions
+	}
+	// Track which nodes remain free as we pin placements.
+	free := append([]int(nil), inv.FreeList...)
+	for i := range decisions {
+		d := &decisions[i]
+		if d.Kind != DecisionStart || len(d.Nodes) > 0 {
+			continue
+		}
+		nodes := LocalityPack(free, d.NumNodes, inv.GroupSize)
+		if nodes == nil {
+			continue // let the engine try (and possibly reject) it
+		}
+		d.Nodes = nodes
+		free = removeAll(free, nodes)
+	}
+	return decisions
+}
+
+// removeAll returns xs minus the sorted set rm (both ascending).
+func removeAll(xs, rm []int) []int {
+	out := xs[:0]
+	i := 0
+	for _, x := range xs {
+		for i < len(rm) && rm[i] < x {
+			i++
+		}
+		if i < len(rm) && rm[i] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+// Package sched defines the scheduling-algorithm interface and a library
+// of algorithms: FCFS, EASY and conservative backfilling, SJF, and an
+// adaptive policy that exercises malleability (expand/shrink at scheduling
+// points) and evolving-request arbitration.
+//
+// The design mirrors ElastiSim's decoupling: the simulation engine invokes
+// the algorithm with a full snapshot of the cluster and job states (either
+// periodically, on events, or both), and the algorithm answers with a list
+// of decisions. The engine validates every decision before applying it, so
+// a buggy algorithm cannot corrupt simulation state.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/job"
+)
+
+// State is a job's scheduling state as seen by algorithms.
+type State int
+
+// Job states visible to algorithms.
+const (
+	// StatePending: submitted, not yet started.
+	StatePending State = iota
+	// StateRunning: executing (possibly at a scheduling point).
+	StateRunning
+)
+
+// JobView is a read-only snapshot of one job handed to the algorithm.
+type JobView struct {
+	// ID is the job's identity, used in decisions.
+	ID job.ID
+	// Job is the immutable job description.
+	Job *job.Job
+	// State is pending or running.
+	State State
+	// Nodes is the current allocation size (0 while pending).
+	Nodes int
+	// AtSchedulingPoint reports that the job is paused at a scheduling
+	// point right now; Resize decisions are only legal in this state.
+	AtSchedulingPoint bool
+	// EvolvingRequest is the allocation size the application asked for
+	// (0 = no outstanding request). Grant or Deny decisions answer it.
+	EvolvingRequest int
+	// SubmitTime and StartTime are simulation timestamps (StartTime is
+	// meaningful only when running).
+	SubmitTime float64
+	StartTime  float64
+	// ExpectedEnd estimates completion from the walltime limit
+	// (+Inf when the job has no limit). Backfilling relies on it.
+	ExpectedEnd float64
+}
+
+// WallTimeOrInf returns the job's walltime limit, or +Inf if absent.
+func (v *JobView) WallTimeOrInf() float64 {
+	if v.Job.WallTimeLimit <= 0 {
+		return math.Inf(1)
+	}
+	return v.Job.WallTimeLimit
+}
+
+// Reason is a bitmask of why the scheduler was invoked.
+type Reason uint
+
+// Invocation reasons; multiple may be set when events coincide.
+const (
+	ReasonSubmit Reason = 1 << iota
+	ReasonCompletion
+	ReasonSchedulingPoint
+	ReasonEvolvingRequest
+	ReasonPeriodic
+)
+
+func (r Reason) String() string {
+	var parts []string
+	for _, e := range []struct {
+		bit  Reason
+		name string
+	}{
+		{ReasonSubmit, "submit"},
+		{ReasonCompletion, "completion"},
+		{ReasonSchedulingPoint, "scheduling-point"},
+		{ReasonEvolvingRequest, "evolving-request"},
+		{ReasonPeriodic, "periodic"},
+	} {
+		if r&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Invocation is the cluster snapshot an algorithm schedules against.
+type Invocation struct {
+	// Now is the simulation time.
+	Now float64
+	// Reasons says which events triggered this invocation.
+	Reasons Reason
+	// Pending lists queued jobs in submission order.
+	Pending []*JobView
+	// Running lists executing jobs in start order.
+	Running []*JobView
+	// FreeNodes and TotalNodes describe the machine.
+	FreeNodes  int
+	TotalNodes int
+	// FreeList names the free nodes (ascending). Algorithms that care
+	// about placement (locality on tree topologies) can pass explicit
+	// nodes in start decisions; others may ignore it.
+	FreeList []int
+	// GroupSize is the tree topology's nodes-per-leaf-switch (0 when the
+	// network has no locality structure).
+	GroupSize int
+}
+
+// DecisionKind discriminates decisions.
+type DecisionKind int
+
+// Decision kinds.
+const (
+	// DecisionStart launches a pending job on NumNodes nodes.
+	DecisionStart DecisionKind = iota
+	// DecisionResize changes a running adaptive job's allocation to
+	// NumNodes. Legal only while the job is at a scheduling point.
+	DecisionResize
+	// DecisionGrant accepts an evolving request; NumNodes is the granted
+	// size (it may differ from the requested size). Applied at the job's
+	// next scheduling point.
+	DecisionGrant
+	// DecisionDeny rejects an outstanding evolving request.
+	DecisionDeny
+	// DecisionKill terminates a job (pending or running).
+	DecisionKill
+)
+
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionStart:
+		return "start"
+	case DecisionResize:
+		return "resize"
+	case DecisionGrant:
+		return "grant"
+	case DecisionDeny:
+		return "deny"
+	case DecisionKill:
+		return "kill"
+	default:
+		return fmt.Sprintf("DecisionKind(%d)", int(k))
+	}
+}
+
+// Decision is one scheduling action. The engine applies decisions in order.
+type Decision struct {
+	Kind     DecisionKind
+	Job      job.ID
+	NumNodes int
+	// Nodes optionally pins a start decision to specific nodes (they must
+	// be free and count NumNodes). Empty lets the engine pick
+	// (lowest-numbered free nodes first).
+	Nodes []int
+}
+
+func (d Decision) String() string {
+	return fmt.Sprintf("%s(job%d, %d)", d.Kind, d.Job, d.NumNodes)
+}
+
+// Start is shorthand for a start decision.
+func Start(id job.ID, nodes int) Decision {
+	return Decision{Kind: DecisionStart, Job: id, NumNodes: nodes}
+}
+
+// Resize is shorthand for a resize decision.
+func Resize(id job.ID, nodes int) Decision {
+	return Decision{Kind: DecisionResize, Job: id, NumNodes: nodes}
+}
+
+// Algorithm is a scheduling policy.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Schedule inspects the snapshot and returns decisions. It must not
+	// retain inv or the views.
+	Schedule(inv *Invocation) []Decision
+}
+
+// SizePolicy chooses allocation sizes for moldable (and initial sizes for
+// adaptive) jobs.
+type SizePolicy int
+
+// Size policies.
+const (
+	// SizeRequested starts the job at its preferred size (NumNodes, or
+	// the minimum if unset), the conservative choice.
+	SizeRequested SizePolicy = iota
+	// SizeMax starts the job as large as currently fits (up to its max).
+	SizeMax
+	// SizeMin starts the job at its minimum size.
+	SizeMin
+)
+
+// SizeFunc customizes start-size selection beyond the SizePolicy enum
+// (e.g. efficiency-aware moldable sizing). It returns the node count to
+// start v with given currently free nodes, or 0 if the job cannot start.
+// Implementations must respect the job's [min,max] bounds and free.
+type SizeFunc func(v *JobView, free int) int
+
+// PolicySizer adapts a SizePolicy enum value to a SizeFunc.
+func PolicySizer(policy SizePolicy) SizeFunc {
+	return func(v *JobView, free int) int {
+		return StartSize(v, free, policy)
+	}
+}
+
+// EfficiencySizer returns a SizeFunc for moldable (and adaptive) jobs that
+// picks the LARGEST size whose analytic parallel efficiency relative to
+// the job's minimum stays at or above threshold — the textbook
+// "efficiency-bounded" moldable policy. Rigid jobs keep their request;
+// jobs whose models cannot be estimated fall back to the requested size.
+func EfficiencySizer(ref job.PlatformRef, threshold float64) SizeFunc {
+	return func(v *JobView, free int) int {
+		j := v.Job
+		if j.Type == job.Rigid {
+			return StartSize(v, free, SizeRequested)
+		}
+		minN, maxN := j.MinNodes(), j.MaxNodes()
+		if minN > free {
+			return 0
+		}
+		limit := min(maxN, free)
+		best := minN
+		for n := minN + 1; n <= limit; n++ {
+			eff, err := job.Efficiency(j, n, ref)
+			if err != nil {
+				return StartSize(v, free, SizeRequested)
+			}
+			if eff >= threshold {
+				best = n
+			}
+		}
+		return best
+	}
+}
+
+// pickSize dispatches to the custom SizeFunc when set, else the enum
+// policy.
+func pickSize(v *JobView, free int, fn SizeFunc, policy SizePolicy) int {
+	if fn != nil {
+		return fn(v, free)
+	}
+	return StartSize(v, free, policy)
+}
+
+// StartSize picks the node count to start v with under the policy, given
+// free nodes. It returns 0 when the job cannot start now.
+func StartSize(v *JobView, free int, policy SizePolicy) int {
+	j := v.Job
+	if j.Type == job.Rigid {
+		if j.NumNodes <= free {
+			return j.NumNodes
+		}
+		return 0
+	}
+	minN, maxN := j.MinNodes(), j.MaxNodes()
+	if minN > free {
+		return 0
+	}
+	var want int
+	switch policy {
+	case SizeMax:
+		want = maxN
+	case SizeMin:
+		want = minN
+	default:
+		want = j.NumNodes
+		if want == 0 {
+			want = minN
+		}
+	}
+	if want > maxN {
+		want = maxN
+	}
+	if want < minN {
+		want = minN
+	}
+	if want > free {
+		want = free // still >= minN, checked above
+	}
+	return want
+}
