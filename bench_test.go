@@ -229,3 +229,19 @@ func BenchmarkE9Topology(b *testing.B) {
 		b.ReportMetric(results[len(results)-1].Summary.Makespan, "makespan_tree16_s")
 	}
 }
+
+// BenchmarkE10Resilience regenerates the failure-injection comparison:
+// shrink-through-failure vs kill-and-requeue under Weibull node outages.
+func BenchmarkE10Resilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, results, err := experiments.E10Resilience(benchSeed, benchJobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(i, t)
+		shrink := results["mtbf=6000.0/shrink"].Summary
+		requeue := results["mtbf=6000.0/requeue"].Summary
+		b.ReportMetric(shrink.BadputNodeSeconds/3600, "badput_shrink_nh")
+		b.ReportMetric(requeue.BadputNodeSeconds/3600, "badput_requeue_nh")
+	}
+}

@@ -117,6 +117,16 @@ func main() {
 	fmt.Printf("makespan      %.1f s (%s)\n", s.Makespan, unit.FormatSeconds(s.Makespan))
 	fmt.Printf("utilization   %.1f%%\n", s.Utilization*100)
 	fmt.Printf("completed     %d (killed %d)\n", s.Completed, s.Killed)
+	if s.Killed > 0 {
+		fmt.Printf("  walltime %d, by scheduler %d, node failure %d\n",
+			s.KilledWalltime, s.KilledByScheduler, s.FailedNode)
+	}
+	if s.NodeFailures > 0 {
+		fmt.Printf("failures      %d node failures, %d requeues\n", s.NodeFailures, s.Requeues)
+		fmt.Printf("badput        %.1f node-s (goodput %.1f node-s)\n",
+			s.BadputNodeSeconds, s.GoodputNodeSeconds)
+		fmt.Printf("availability  %.2f%% (%.1f down node-s)\n", s.Availability*100, s.DownNodeSeconds)
+	}
 	fmt.Printf("mean wait     %.1f s   p95 %.1f s\n", s.MeanWait, s.P95Wait)
 	fmt.Printf("mean turnaround %.1f s\n", s.MeanTurnaround)
 	fmt.Printf("mean slowdown %.2f   max %.2f\n", s.MeanSlowdown, s.MaxSlowdown)
@@ -212,6 +222,13 @@ const examplePlatform = `{
     "kind": "node_local",
     "read_bandwidth": "4G",
     "write_bandwidth": "4G"
+  },
+  "failures": {
+    "model": "weibull",
+    "seed": 7,
+    "mtbf": "100k",
+    "mttr": 600,
+    "recovery": "shrink"
   }
 }
 `
@@ -241,11 +258,15 @@ const exampleWorkload = `{
 
 const formatExamples = `# Platform file (JSON). Quantities accept constant expressions
 # ("100G" = 1e11). Topology "star" or "backbone" (+ backbone_bandwidth);
-# burst_buffer is optional ("node_local" or "shared").
+# burst_buffer is optional ("node_local" or "shared"). failures is
+# optional: model "exponential" | "weibull" (+ mtbf, mttr, shape) or
+# "trace" (+ outages: [{"node": 0, "down": 100, "up": 700}, ...]);
+# recovery "shrink" (default) | "requeue" | "kill".
 ` + examplePlatform + `
 # Workload file (JSON). Job types: rigid | moldable | malleable | evolving.
 # Cost models are numbers, expressions, or vectors ({"4": 1e12, "8": 6e11});
 # expression variables: num_nodes, total_nodes, iteration, iterations,
 # phase, walltime, plus the job's own args. Dependencies reference jobs by
-# name: "dependencies": ["sim0"].
+# name: "dependencies": ["sim0"]. An optional "checkpoint_interval"
+# expression (seconds) enables checkpoint/restart under node failures.
 ` + exampleWorkload

@@ -1,5 +1,5 @@
 // Command expreport regenerates every experiment of the reconstructed
-// evaluation (E1–E8 plus the ablations) and prints the tables, optionally
+// evaluation (E1–E10 plus the ablations) and prints the tables, optionally
 // as markdown for EXPERIMENTS.md.
 //
 // Usage:
@@ -83,6 +83,10 @@ func main() {
 	}
 	if want("E9") {
 		t, _, err := experiments.E9Topology(*seed, *jobs)
+		emit(t, err)
+	}
+	if want("E10") {
+		t, _, err := experiments.E10Resilience(*seed, *jobs)
 		emit(t, err)
 	}
 	if want("A1") {

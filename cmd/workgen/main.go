@@ -32,6 +32,7 @@ func main() {
 		malleable = flag.Float64("malleable", 0.5, "share of malleable jobs")
 		evolving  = flag.Float64("evolving", 0, "share of evolving jobs")
 		bbTarget  = flag.Bool("bb-checkpoints", false, "direct checkpoints to burst buffers instead of the PFS")
+		ckpt      = flag.String("checkpoint-interval", "", "checkpoint-interval expression in seconds tagged onto every job (e.g. \"300\"; empty = no restart checkpoints)")
 		name      = flag.String("name", "synthetic", "workload name")
 	)
 	flag.Parse()
@@ -59,11 +60,12 @@ func main() {
 			Shape: *shape,
 			Scale: *scale,
 		},
-		Nodes:            [2]int{*minNodes, *maxNodes},
-		MachineNodes:     *nodes,
-		NodeSpeed:        *nodeSpeed,
-		TypeShares:       shares,
-		CheckpointTarget: target,
+		Nodes:              [2]int{*minNodes, *maxNodes},
+		MachineNodes:       *nodes,
+		NodeSpeed:          *nodeSpeed,
+		TypeShares:         shares,
+		CheckpointTarget:   target,
+		CheckpointInterval: *ckpt,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "workgen:", err)

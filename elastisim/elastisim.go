@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/failure"
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/platform"
@@ -53,6 +54,19 @@ type (
 	StorageSpec = platform.StorageSpec
 	// BurstBufferSpec describes the burst-buffer tier.
 	BurstBufferSpec = platform.BurstBufferSpec
+	// Quantity is a float64 that unmarshals from a JSON number or an
+	// engineering-suffixed expression string ("100G").
+	Quantity = platform.Quantity
+	// FailureSpec describes a node failure/repair model (MTBF/MTTR
+	// processes or scripted outages) plus the job-recovery policy.
+	FailureSpec = failure.Spec
+	// Outage is one scripted node outage of the trace failure model.
+	Outage = failure.Outage
+	// RecoveryPolicy selects how jobs hit by a node failure recover
+	// (see the Recover* constants).
+	RecoveryPolicy = failure.RecoveryPolicy
+	// JobStatus is a job's terminal outcome (see the Status* constants).
+	JobStatus = metrics.JobStatus
 
 	// Workload is an ordered collection of jobs.
 	Workload = job.Workload
@@ -100,6 +114,29 @@ const (
 	Evolving  = job.Evolving
 )
 
+// Failure models, re-exported.
+const (
+	FailureExponential = failure.ModelExponential
+	FailureWeibull     = failure.ModelWeibull
+	FailureTrace       = failure.ModelTrace
+)
+
+// Job recovery policies after node failures, re-exported.
+const (
+	RecoverShrink  = failure.RecoverShrink
+	RecoverRequeue = failure.RecoverRequeue
+	RecoverKill    = failure.RecoverKill
+)
+
+// Job completion statuses, re-exported.
+const (
+	StatusCompleted       = metrics.StatusCompleted
+	StatusKilledWalltime  = metrics.StatusKilledWalltime
+	StatusKilledScheduler = metrics.StatusKilledScheduler
+	StatusFailedNode      = metrics.StatusFailedNode
+	StatusRequeued        = metrics.StatusRequeued
+)
+
 // Config assembles one simulation run.
 type Config struct {
 	// Platform describes the cluster.
@@ -108,6 +145,9 @@ type Config struct {
 	Workload *Workload
 	// Algorithm is the scheduling policy (see NewAlgorithm for built-ins).
 	Algorithm Algorithm
+	// Failures injects node failures and repairs (nil = none). It
+	// overrides any "failures" object in the platform spec.
+	Failures *FailureSpec
 	// Options tunes the engine.
 	Options Options
 }
@@ -141,7 +181,11 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Algorithm == nil {
 		return nil, fmt.Errorf("elastisim: config needs a scheduling algorithm")
 	}
-	eng, err := core.New(cfg.Platform, cfg.Workload, cfg.Algorithm, cfg.Options)
+	opts := cfg.Options
+	if cfg.Failures != nil {
+		opts.Failures = cfg.Failures
+	}
+	eng, err := core.New(cfg.Platform, cfg.Workload, cfg.Algorithm, opts)
 	if err != nil {
 		return nil, err
 	}

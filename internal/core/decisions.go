@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/job"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/sched"
 )
@@ -59,6 +60,9 @@ func (e *Engine) applyStart(jr *jobRun, n int, pinned []int) error {
 		for _, id := range pinned {
 			if id < 0 || id >= e.alloc.Total() {
 				return fmt.Errorf("job %s: pinned node %d out of range", j.Label(), id)
+			}
+			if e.nodeDown != nil && e.nodeDown[id] {
+				return fmt.Errorf("job %s: pinned node %d is down", j.Label(), id)
 			}
 			nodes = append(nodes, platform.NodeID(id))
 		}
@@ -152,7 +156,7 @@ func (e *Engine) applyKill(jr *jobRun) error {
 	case stateDone:
 		return fmt.Errorf("job %s already finished", jr.job.Label())
 	default:
-		e.kill(jr, true)
+		e.kill(jr, metrics.StatusKilledScheduler)
 		return nil
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/des"
+	"repro/internal/failure"
 	"repro/internal/fluid"
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -55,6 +56,10 @@ type Options struct {
 	// machines; this switch exists for the equivalence tests and the
 	// simulator-performance ablation.
 	DisableFastPath bool
+	// Failures injects node failures and repairs (nil = none). It takes
+	// precedence over the platform spec's "failures" object, letting one
+	// platform file drive both clean and degraded runs.
+	Failures *failure.Spec
 }
 
 // Engine is a single-run batch-system simulator. Create with New, run with
@@ -77,6 +82,13 @@ type Engine struct {
 	// dependents maps a job to the held jobs waiting on it.
 	finished   map[job.ID]bool
 	dependents map[job.ID][]*jobRun
+
+	// Failure injection: injector is nil when disabled, and every other
+	// field stays untouched in that case (runs are bit-identical to an
+	// engine without the subsystem).
+	injector  *failure.Injector
+	nodeDown  []bool
+	downCount int
 
 	invocationScheduled bool
 	pendingReasons      sched.Reason
@@ -122,6 +134,18 @@ func New(spec *platform.Spec, w *job.Workload, algo sched.Algorithm, opts Option
 		finished:   make(map[job.ID]bool),
 		dependents: make(map[job.ID][]*jobRun),
 	}
+	fs := opts.Failures
+	if fs == nil {
+		fs = spec.Failures
+	}
+	inj, err := failure.NewInjector(fs, plat.NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		e.injector = inj
+		e.nodeDown = make([]bool, plat.NumNodes())
+	}
 	return e, nil
 }
 
@@ -158,6 +182,11 @@ func (e *Engine) Run() (*metrics.Recorder, error) {
 		e.kernel.Schedule(des.Time(j.SubmitTime), des.PriorityEngine, func() {
 			e.submit(jj)
 		})
+	}
+	if e.injector != nil {
+		for n := 0; n < e.plat.NumNodes(); n++ {
+			e.scheduleOutage(n, 0)
+		}
 	}
 	if e.opts.InvocationInterval > 0 && e.outstanding > 0 {
 		e.schedulePeriodic()
@@ -299,6 +328,13 @@ func (e *Engine) snapshot(reasons sched.Reason) *sched.Invocation {
 	}
 	if e.plat.IsTree() {
 		inv.GroupSize = e.plat.Spec().Network.GroupSize
+	}
+	if e.downCount > 0 {
+		for n, d := range e.nodeDown {
+			if d {
+				inv.DownNodes = append(inv.DownNodes, n)
+			}
+		}
 	}
 	for _, jr := range e.queue {
 		inv.Pending = append(inv.Pending, e.view(jr))

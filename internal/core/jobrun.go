@@ -8,6 +8,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/fluid"
 	"repro/internal/job"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/sched"
 )
@@ -80,6 +81,15 @@ type jobRun struct {
 	// reaches zero.
 	depsLeft int
 
+	// Resilience bookkeeping: the checkpointed program-counter position a
+	// restart resumes from, when it was taken, when the current iteration
+	// began, and how often the job was requeued after node failures.
+	ckptPhase int
+	ckptIter  int
+	lastCkpt  float64
+	iterStart float64
+	requeues  int
+
 	argsEnv expr.Vars // job args, fixed
 }
 
@@ -106,20 +116,27 @@ func (e *Engine) env(jr *jobRun) expr.Env {
 	return expr.ChainEnv{jr.argsEnv, base}
 }
 
-// start launches a pending job on the given allocation.
+// start launches a pending job on the given allocation. A restart after a
+// node-failure requeue resumes at the checkpointed position with a fresh
+// walltime budget for the remaining work.
 func (e *Engine) start(jr *jobRun, nodes []platform.NodeID) {
 	now := e.Now()
 	jr.nodes = nodes
 	jr.state = stateRunning
 	jr.startTime = now
 	jr.segStart = now
-	jr.phaseIdx, jr.iter, jr.taskIdx = 0, 0, 0
+	jr.phaseIdx, jr.iter, jr.taskIdx = jr.ckptPhase, jr.ckptIter, 0
+	jr.lastCkpt = now
 	e.running = append(e.running, jr)
 	e.rec.JobStarted(jr.job.ID, now, len(nodes))
-	e.traceEvent(EvStart, jr.job.ID, fmt.Sprintf("nodes=%d", len(nodes)))
+	detail := fmt.Sprintf("nodes=%d", len(nodes))
+	if jr.requeues > 0 {
+		detail += fmt.Sprintf(" restart=%d ckpt=%d/%d", jr.requeues, jr.ckptPhase, jr.ckptIter)
+	}
+	e.traceEvent(EvStart, jr.job.ID, detail)
 	if jr.job.WallTimeLimit > 0 {
 		jr.killEvent = e.kernel.Schedule(des.Time(now+jr.job.WallTimeLimit), des.PriorityEngine, func() {
-			e.kill(jr, true)
+			e.kill(jr, metrics.StatusKilledWalltime)
 		})
 	}
 	e.startTask(jr)
@@ -127,6 +144,9 @@ func (e *Engine) start(jr *jobRun, nodes []platform.NodeID) {
 
 // startTask dispatches the current task. Precondition: jr.state == running.
 func (e *Engine) startTask(jr *jobRun) {
+	if jr.taskIdx == 0 {
+		jr.iterStart = e.Now()
+	}
 	t := jr.task()
 	n := len(jr.nodes)
 	magnitude, err := t.Model.Eval(e.env(jr), n)
@@ -440,6 +460,7 @@ func (e *Engine) taskDone(jr *jobRun) {
 	jr.iter++
 	p := jr.phase()
 	if jr.iter < p.EffectiveIterations() {
+		e.maybeCheckpoint(jr)
 		if p.SchedulingPoint {
 			e.enterSchedulingPoint(jr)
 			return
@@ -454,6 +475,7 @@ func (e *Engine) taskDone(jr *jobRun) {
 	jr.iter = 0
 	jr.phaseIdx++
 	if jr.phaseIdx < len(jr.job.App.Phases) {
+		e.maybeCheckpoint(jr)
 		if p.SchedulingPoint {
 			e.enterSchedulingPoint(jr)
 			return
@@ -461,7 +483,7 @@ func (e *Engine) taskDone(jr *jobRun) {
 		e.startTask(jr)
 		return
 	}
-	e.finish(jr, false)
+	e.finish(jr, metrics.StatusCompleted)
 }
 
 // enterSchedulingPoint pauses the job, pokes the scheduler, and arranges
@@ -569,8 +591,8 @@ func (e *Engine) chargeReconfiguration(jr *jobRun, oldSize int) {
 	e.startTask(jr)
 }
 
-// finish completes a running job (killed = walltime exceeded).
-func (e *Engine) finish(jr *jobRun, killed bool) {
+// finish completes a running job with the given terminal status.
+func (e *Engine) finish(jr *jobRun, status metrics.JobStatus) {
 	now := e.Now()
 	jr.state = stateDone
 	e.cancelWork(jr)
@@ -580,23 +602,24 @@ func (e *Engine) finish(jr *jobRun, killed bool) {
 	}
 	jr.nodes = nil
 	e.removeRunning(jr)
-	e.rec.JobFinished(jr.job.ID, now, killed)
-	e.traceEvent(EvFinish, jr.job.ID, fmt.Sprintf("killed=%t", killed))
+	e.rec.JobFinished(jr.job.ID, now, status)
+	e.traceEvent(EvFinish, jr.job.ID, fmt.Sprintf("status=%s", status))
 	e.outstanding--
 	e.markFinished(jr.job.ID)
 	e.requestInvocation(sched.ReasonCompletion)
 }
 
-// kill terminates a running job at its walltime limit.
-func (e *Engine) kill(jr *jobRun, walltime bool) {
+// kill terminates a running job (walltime limit or scheduler decision).
+func (e *Engine) kill(jr *jobRun, status metrics.JobStatus) {
 	if jr.state == stateDone || jr.state == statePending {
 		return
 	}
-	e.finish(jr, walltime)
+	e.finish(jr, status)
 }
 
-// cancelWork tears down in-flight activity, timers, and the kill event.
-func (e *Engine) cancelWork(jr *jobRun) {
+// cancelTask tears down the in-flight activity or timer, leaving the
+// walltime kill event armed.
+func (e *Engine) cancelTask(jr *jobRun) {
 	if jr.activity != nil {
 		e.pool.Cancel(jr.activity)
 		jr.activity = nil
@@ -605,6 +628,11 @@ func (e *Engine) cancelWork(jr *jobRun) {
 		e.kernel.Cancel(jr.timer)
 		jr.timer = nil
 	}
+}
+
+// cancelWork tears down in-flight activity, timers, and the kill event.
+func (e *Engine) cancelWork(jr *jobRun) {
+	e.cancelTask(jr)
 	if jr.killEvent != nil {
 		e.kernel.Cancel(jr.killEvent)
 		jr.killEvent = nil

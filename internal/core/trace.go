@@ -24,6 +24,13 @@ const (
 	EvDenied          TraceEventKind = "denied"
 	EvTaskStart       TraceEventKind = "task-start"
 	EvTaskEnd         TraceEventKind = "task-end"
+	// Failure subsystem events. Node events carry job id -1 (they concern
+	// the machine, not a job).
+	EvNodeDown   TraceEventKind = "node-down"
+	EvNodeUp     TraceEventKind = "node-up"
+	EvCheckpoint TraceEventKind = "checkpoint"
+	EvRequeued   TraceEventKind = "requeued"
+	EvFailShrink TraceEventKind = "shrink-on-failure"
 )
 
 // TraceEvent is one entry of the optional event log.

@@ -1,0 +1,86 @@
+package expr
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary strings to the compiler. Compile must never
+// panic — malformed input has to surface as an error — and any expression
+// that does compile must round-trip: recompiling its Source() yields an
+// expression that evaluates to the same value (NaN-aware) under a fixed
+// environment.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"1 + 2 * 3",
+		"flops / num_nodes",
+		"amdahl(0.05, num_nodes) * base",
+		"x > 3 ? y : -y",
+		"min(a, b, c) % 2 ^ -3",
+		"clamp(n, 1, 64) + if(n > 8, 1, 0)",
+		"!((x))",
+		"((((((((((1))))))))))",
+		"100G",
+		"-",
+		"1 ? 2",
+		"unknownfn(1)",
+		"\x00\xff",
+	} {
+		f.Add(seed)
+	}
+	env := Vars{
+		"x": 3.5, "y": -2, "a": 1, "b": 2, "c": 3, "n": 17,
+		"base": 100, "flops": 1e12, "num_nodes": 16,
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Compile(src) // must not panic, however hostile src is
+		if err != nil {
+			return
+		}
+		v1, err1 := e.Eval(env)
+		e2, err := Compile(e.Source())
+		if err != nil {
+			t.Fatalf("round-trip: Source() %q of valid input %q does not recompile: %v",
+				e.Source(), src, err)
+		}
+		v2, err2 := e2.Eval(env)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("round-trip: eval errors diverge for %q: %v vs %v", src, err1, err2)
+		}
+		if err1 == nil && v1 != v2 && !(math.IsNaN(v1) && math.IsNaN(v2)) {
+			t.Fatalf("round-trip: %q evaluates to %v, recompiled to %v", src, v1, v2)
+		}
+	})
+}
+
+// TestParseDepthLimit pins the recursion guard: pathologically nested input
+// is rejected with a SyntaxError rather than a stack overflow.
+func TestParseDepthLimit(t *testing.T) {
+	deep := ""
+	for i := 0; i < 10000; i++ {
+		deep += "("
+	}
+	deep += "1"
+	for i := 0; i < 10000; i++ {
+		deep += ")"
+	}
+	if _, err := Compile(deep); err == nil {
+		t.Fatal("deeply nested parens compiled")
+	}
+	if _, err := Compile(string(make([]byte, 0, 1)) + repeat("-", 10000) + "x"); err == nil {
+		t.Fatal("long unary chain compiled")
+	}
+	// A reasonable depth still parses.
+	ok := repeat("(", 50) + "1" + repeat(")", 50)
+	if _, err := Compile(ok); err != nil {
+		t.Fatalf("50-deep parens rejected: %v", err)
+	}
+}
+
+func repeat(s string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += s
+	}
+	return out
+}

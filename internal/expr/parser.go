@@ -140,11 +140,29 @@ func (n *callNode) vars(dst map[string]bool) {
 	}
 }
 
+// maxParseDepth bounds parser recursion so pathological inputs (deeply
+// nested parentheses, long unary chains) fail with a SyntaxError instead
+// of exhausting the goroutine stack.
+const maxParseDepth = 200
+
 type parser struct {
-	lex *lexer
-	tok token
-	src string
+	lex   *lexer
+	tok   token
+	src   string
+	depth int
 }
+
+// enter guards each recursive production against unbounded nesting; every
+// successful enter is paired with a deferred leave.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errorf(p.tok.pos, "expression nested deeper than %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) errorf(pos int, format string, args ...any) error {
 	return &SyntaxError{Expr: p.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
@@ -182,6 +200,10 @@ func parse(src string) (node, error) {
 }
 
 func (p *parser) parseTernary() (node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	cond, err := p.parseOr()
 	if err != nil {
 		return nil, err
@@ -277,6 +299,10 @@ func (p *parser) parseProduct() (node, error) {
 }
 
 func (p *parser) parseUnary() (node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch p.tok.kind {
 	case tokMinus, tokNot:
 		op := p.tok.kind

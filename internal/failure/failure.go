@@ -1,0 +1,281 @@
+// Package failure models node failures and repairs: deterministic,
+// seed-driven outage processes that the simulation engine turns into
+// node-down/node-up events.
+//
+// The package is deliberately self-contained (it depends only on the DES
+// RNG and the unit quantities) so the platform spec, the engine, and the
+// public facade can all share one Spec type without import cycles.
+//
+// Determinism: every node draws its outages from its own RNG stream,
+// split off the spec seed by node index. Consuming an outage for node 3
+// never perturbs the sequence node 7 sees, so simulations stay
+// reproducible regardless of how the engine interleaves events.
+package failure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/unit"
+)
+
+// Model selects the outage process.
+type Model string
+
+// Outage process models.
+const (
+	// ModelExponential draws uptimes and repair times from exponential
+	// distributions (memoryless failures, the classic MTBF/MTTR model).
+	ModelExponential Model = "exponential"
+	// ModelWeibull draws uptimes from a Weibull distribution with the
+	// given shape (shape < 1 models infant mortality / bursty failures,
+	// the empirical shape of HPC failure traces); repairs stay
+	// exponential.
+	ModelWeibull Model = "weibull"
+	// ModelTrace replays an explicit list of scripted outages.
+	ModelTrace Model = "trace"
+)
+
+// RecoveryPolicy selects what happens to a job that loses a node.
+type RecoveryPolicy string
+
+// Recovery policies.
+const (
+	// RecoverShrink lets adaptive (malleable/evolving) jobs shrink through
+	// the failure when the surviving allocation still satisfies their
+	// minimum; all other jobs — and shrinks that would fall below the
+	// minimum — fall back to kill-and-requeue. This is the default.
+	RecoverShrink RecoveryPolicy = "shrink"
+	// RecoverRequeue kills every affected job and resubmits it, restarting
+	// from its last checkpoint (see the job checkpoint_interval model).
+	RecoverRequeue RecoveryPolicy = "requeue"
+	// RecoverKill kills affected jobs outright, no resubmission.
+	RecoverKill RecoveryPolicy = "kill"
+)
+
+// DefaultMaxRequeues bounds resubmissions per job so a pathological
+// MTBF (shorter than the restart time) cannot loop a job forever.
+const DefaultMaxRequeues = 10
+
+// Outage is one scripted node outage of the trace model. Times are
+// absolute simulation seconds.
+type Outage struct {
+	// Node is the failing node's index.
+	Node int `json:"node"`
+	// Down is when the node fails.
+	Down unit.Quantity `json:"down"`
+	// Up is when the node comes back; it must be strictly after Down.
+	Up unit.Quantity `json:"up"`
+}
+
+// Spec is the serializable description of a failure model, embeddable in
+// platform JSON (a "failures" object) or passed programmatically.
+type Spec struct {
+	// Model selects the outage process.
+	Model Model `json:"model"`
+	// Seed drives the stochastic models (per-node streams are split off
+	// it deterministically).
+	Seed uint64 `json:"seed,omitempty"`
+	// MTBF is each node's mean uptime between failures, in seconds
+	// (exponential and weibull models).
+	MTBF unit.Quantity `json:"mtbf,omitempty"`
+	// MTTR is the mean repair time, in seconds.
+	MTTR unit.Quantity `json:"mttr,omitempty"`
+	// Shape is the Weibull uptime shape (default 0.7, the bursty regime
+	// observed in production failure traces).
+	Shape float64 `json:"shape,omitempty"`
+	// Outages lists scripted outages (trace model only).
+	Outages []Outage `json:"outages,omitempty"`
+	// Start suppresses failures before this time (seconds), e.g. to let a
+	// warm-up period run clean.
+	Start unit.Quantity `json:"start,omitempty"`
+
+	// Recovery selects the engine's job-recovery policy ("" = shrink).
+	Recovery RecoveryPolicy `json:"recovery,omitempty"`
+	// MaxRequeues bounds resubmissions per job (0 = DefaultMaxRequeues).
+	MaxRequeues int `json:"max_requeues,omitempty"`
+}
+
+// Enabled reports whether the spec describes an active failure model.
+func (s *Spec) Enabled() bool { return s != nil && s.Model != "" }
+
+// EffectiveShape returns the Weibull shape, defaulted.
+func (s *Spec) EffectiveShape() float64 {
+	if s.Shape > 0 {
+		return s.Shape
+	}
+	return 0.7
+}
+
+// EffectiveMaxRequeues returns the requeue bound, defaulted.
+func (s *Spec) EffectiveMaxRequeues() int {
+	if s.MaxRequeues > 0 {
+		return s.MaxRequeues
+	}
+	return DefaultMaxRequeues
+}
+
+// EffectiveRecovery returns the recovery policy, defaulted.
+func (s *Spec) EffectiveRecovery() RecoveryPolicy {
+	if s.Recovery == "" {
+		return RecoverShrink
+	}
+	return s.Recovery
+}
+
+// Validate checks the spec for structural errors. It does not know the
+// machine size; scripted node indices are range-checked by NewInjector.
+func (s *Spec) Validate() error {
+	if s == nil || s.Model == "" {
+		return nil // disabled
+	}
+	switch s.Model {
+	case ModelExponential, ModelWeibull:
+		if s.MTBF <= 0 || math.IsNaN(float64(s.MTBF)) || math.IsInf(float64(s.MTBF), 0) {
+			return fmt.Errorf("failure: %s model requires a positive finite mtbf, got %v", s.Model, float64(s.MTBF))
+		}
+		if s.MTTR <= 0 || math.IsNaN(float64(s.MTTR)) || math.IsInf(float64(s.MTTR), 0) {
+			return fmt.Errorf("failure: %s model requires a positive finite mttr, got %v", s.Model, float64(s.MTTR))
+		}
+		if s.Model == ModelWeibull && s.Shape < 0 {
+			return fmt.Errorf("failure: negative weibull shape %v", s.Shape)
+		}
+	case ModelTrace:
+		if len(s.Outages) == 0 {
+			return fmt.Errorf("failure: trace model without outages")
+		}
+		for i, o := range s.Outages {
+			if o.Node < 0 {
+				return fmt.Errorf("failure: outage %d has negative node %d", i, o.Node)
+			}
+			if o.Down < 0 {
+				return fmt.Errorf("failure: outage %d has negative down time", i)
+			}
+			if o.Up <= o.Down {
+				return fmt.Errorf("failure: outage %d repairs at %v, not after failing at %v", i, float64(o.Up), float64(o.Down))
+			}
+		}
+	default:
+		return fmt.Errorf("failure: unknown model %q", s.Model)
+	}
+	switch s.Recovery {
+	case "", RecoverShrink, RecoverRequeue, RecoverKill:
+	default:
+		return fmt.Errorf("failure: unknown recovery policy %q", s.Recovery)
+	}
+	if s.Start < 0 {
+		return fmt.Errorf("failure: negative start time")
+	}
+	if s.MaxRequeues < 0 {
+		return fmt.Errorf("failure: negative max_requeues")
+	}
+	return nil
+}
+
+// window is one outage interval.
+type window struct{ down, up float64 }
+
+// Injector produces each node's outage sequence. It is created per
+// simulation run (it consumes per-node RNG state as outages are drawn).
+type Injector struct {
+	spec     Spec
+	rngs     []*des.RNG // per-node streams (stochastic models)
+	scale    float64    // Weibull scale realizing the requested MTBF
+	scripted [][]window // per-node windows, sorted by down time
+	pos      []int      // next scripted window per node
+}
+
+// NewInjector validates the spec against the machine size and builds the
+// per-node outage streams. A nil or disabled spec yields a nil injector.
+func NewInjector(spec *Spec, numNodes int) (*Injector, error) {
+	if !spec.Enabled() {
+		return nil, nil
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("failure: machine with %d nodes", numNodes)
+	}
+	in := &Injector{spec: *spec}
+	switch spec.Model {
+	case ModelTrace:
+		in.scripted = make([][]window, numNodes)
+		in.pos = make([]int, numNodes)
+		for i, o := range spec.Outages {
+			if o.Node >= numNodes {
+				return nil, fmt.Errorf("failure: outage %d names node %d, machine has %d", i, o.Node, numNodes)
+			}
+			in.scripted[o.Node] = append(in.scripted[o.Node], window{float64(o.Down), float64(o.Up)})
+		}
+		for n := range in.scripted {
+			ws := in.scripted[n]
+			sort.Slice(ws, func(i, j int) bool { return ws[i].down < ws[j].down })
+			for i := 1; i < len(ws); i++ {
+				if ws[i].down < ws[i-1].up {
+					return nil, fmt.Errorf("failure: node %d outages overlap ([%g,%g] then down at %g)",
+						n, ws[i-1].down, ws[i-1].up, ws[i].down)
+				}
+			}
+		}
+	default:
+		root := des.NewRNG(spec.Seed)
+		in.rngs = make([]*des.RNG, numNodes)
+		for n := range in.rngs {
+			in.rngs[n] = root.Split()
+		}
+		if spec.Model == ModelWeibull {
+			shape := spec.EffectiveShape()
+			// Choose the scale so the mean uptime equals the requested
+			// MTBF: E[Weibull(k, λ)] = λ·Γ(1+1/k).
+			in.scale = float64(spec.MTBF) / math.Gamma(1+1/shape)
+		}
+	}
+	return in, nil
+}
+
+// Spec returns the injector's (validated) spec.
+func (in *Injector) Spec() *Spec { return &in.spec }
+
+// NextOutage returns node's next outage window beginning strictly after
+// time t: the failure instant and the repair instant (down < up). ok is
+// false when the node will not fail again (trace model exhausted).
+// Windows are consumed: each call advances the node's stream.
+func (in *Injector) NextOutage(node int, t float64) (down, up float64, ok bool) {
+	if in.scripted != nil {
+		ws := in.scripted[node]
+		for in.pos[node] < len(ws) {
+			w := ws[in.pos[node]]
+			in.pos[node]++
+			if w.down > t {
+				return w.down, w.up, true
+			}
+		}
+		return 0, 0, false
+	}
+	rng := in.rngs[node]
+	start := float64(in.spec.Start)
+	for {
+		var uptime float64
+		switch in.spec.Model {
+		case ModelWeibull:
+			uptime = rng.Weibull(in.spec.EffectiveShape(), in.scale)
+		default:
+			uptime = rng.Exp(1 / float64(in.spec.MTBF))
+		}
+		down = t + uptime
+		up = down + rng.Exp(1/float64(in.spec.MTTR))
+		if down <= t { // zero-length uptime draw; redraw
+			continue
+		}
+		if down < start {
+			// Warm-up window: skip outages before Start, keeping the
+			// stream position consistent across runs.
+			t = down
+			continue
+		}
+		return down, up, true
+	}
+}

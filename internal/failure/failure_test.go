@@ -1,0 +1,220 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/unit"
+)
+
+func expSpec(seed uint64, mtbf, mttr float64) *Spec {
+	return &Spec{Model: ModelExponential, Seed: seed, MTBF: unit.Quantity(mtbf), MTTR: unit.Quantity(mttr)}
+}
+
+func TestValidate(t *testing.T) {
+	good := []*Spec{
+		nil,
+		{},
+		expSpec(1, 1000, 60),
+		{Model: ModelWeibull, MTBF: 1000, MTTR: 60, Shape: 0.5},
+		{Model: ModelTrace, Outages: []Outage{{Node: 0, Down: 10, Up: 20}}},
+		{Model: ModelExponential, MTBF: 1, MTTR: 1, Recovery: RecoverRequeue, MaxRequeues: 3},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %d: unexpected error %v", i, err)
+		}
+	}
+	bad := []*Spec{
+		{Model: "gamma"},
+		{Model: ModelExponential},                            // no mtbf
+		{Model: ModelExponential, MTBF: 1000},                // no mttr
+		{Model: ModelExponential, MTBF: -5, MTTR: 10},        // negative
+		{Model: ModelWeibull, MTBF: 100, MTTR: 1, Shape: -1}, // bad shape
+		{Model: ModelTrace},                                  // no outages
+		{Model: ModelTrace, Outages: []Outage{{Node: -1, Down: 1, Up: 2}}},
+		{Model: ModelTrace, Outages: []Outage{{Node: 0, Down: 5, Up: 5}}}, // empty window
+		{Model: ModelExponential, MTBF: 10, MTTR: 1, Recovery: "reboot"},
+		{Model: ModelExponential, MTBF: 10, MTTR: 1, MaxRequeues: -2},
+		{Model: ModelExponential, MTBF: 10, MTTR: 1, Start: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestInjectorDisabled(t *testing.T) {
+	for _, s := range []*Spec{nil, {}} {
+		in, err := NewInjector(s, 8)
+		if err != nil || in != nil {
+			t.Fatalf("disabled spec: injector %v, err %v", in, err)
+		}
+	}
+}
+
+func TestInjectorRejectsOutOfRangeNode(t *testing.T) {
+	s := &Spec{Model: ModelTrace, Outages: []Outage{{Node: 8, Down: 1, Up: 2}}}
+	if _, err := NewInjector(s, 8); err == nil {
+		t.Fatal("node 8 on an 8-node machine accepted")
+	}
+}
+
+func TestInjectorRejectsOverlap(t *testing.T) {
+	s := &Spec{Model: ModelTrace, Outages: []Outage{
+		{Node: 0, Down: 10, Up: 30},
+		{Node: 0, Down: 20, Up: 40},
+	}}
+	if _, err := NewInjector(s, 4); err == nil {
+		t.Fatal("overlapping outages accepted")
+	}
+}
+
+// Determinism: two injectors with the same seed produce identical
+// sequences, and draws for one node never perturb another node's stream.
+func TestDeterminismPerNodeStreams(t *testing.T) {
+	mk := func() *Injector {
+		in, err := NewInjector(expSpec(42, 5000, 120), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	// Reference: node 2's first three windows, drawn in isolation.
+	ref := mk()
+	type w struct{ down, up float64 }
+	var want []w
+	tt := 0.0
+	for i := 0; i < 3; i++ {
+		d, u, ok := ref.NextOutage(2, tt)
+		if !ok {
+			t.Fatal("stochastic model ran dry")
+		}
+		want = append(want, w{d, u})
+		tt = u
+	}
+	// Same seed, but interleaved with heavy draws on other nodes.
+	in := mk()
+	for i := 0; i < 50; i++ {
+		in.NextOutage(0, float64(i))
+		in.NextOutage(3, float64(i))
+	}
+	tt = 0.0
+	for i := 0; i < 3; i++ {
+		d, u, ok := in.NextOutage(2, tt)
+		if !ok || d != want[i].down || u != want[i].up {
+			t.Fatalf("window %d: got (%v,%v,%v), want %+v", i, d, u, ok, want[i])
+		}
+		tt = u
+	}
+}
+
+// The exponential model's mean uptime and repair time must match MTBF and
+// MTTR to within sampling error.
+func TestExponentialMeans(t *testing.T) {
+	const mtbf, mttr = 3000.0, 150.0
+	in, err := NewInjector(expSpec(7, mtbf, mttr), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var upSum, repairSum float64
+	tt := 0.0
+	for i := 0; i < n; i++ {
+		d, u, ok := in.NextOutage(0, tt)
+		if !ok {
+			t.Fatal("ran dry")
+		}
+		upSum += d - tt
+		repairSum += u - d
+		tt = u
+	}
+	if got := upSum / n; math.Abs(got-mtbf)/mtbf > 0.05 {
+		t.Errorf("mean uptime %v, want ~%v", got, mtbf)
+	}
+	if got := repairSum / n; math.Abs(got-mttr)/mttr > 0.05 {
+		t.Errorf("mean repair %v, want ~%v", got, mttr)
+	}
+}
+
+// The Weibull scale calibration must keep the mean uptime equal to MTBF
+// for any shape.
+func TestWeibullMeanMatchesMTBF(t *testing.T) {
+	for _, shape := range []float64{0.5, 0.7, 1.0, 2.0} {
+		s := &Spec{Model: ModelWeibull, Seed: 11, MTBF: 4000, MTTR: 100, Shape: shape}
+		in, err := NewInjector(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 30000
+		sum := 0.0
+		tt := 0.0
+		for i := 0; i < n; i++ {
+			d, u, _ := in.NextOutage(0, tt)
+			sum += d - tt
+			tt = u
+		}
+		if got := sum / n; math.Abs(got-4000)/4000 > 0.06 {
+			t.Errorf("shape %v: mean uptime %v, want ~4000", shape, got)
+		}
+	}
+}
+
+func TestScriptedOrderingAndExhaustion(t *testing.T) {
+	s := &Spec{Model: ModelTrace, Outages: []Outage{
+		{Node: 1, Down: 300, Up: 360},
+		{Node: 1, Down: 100, Up: 150}, // out of order on purpose
+		{Node: 0, Down: 50, Up: 60},
+	}}
+	in, err := NewInjector(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, u, ok := in.NextOutage(1, 0)
+	if !ok || d != 100 || u != 150 {
+		t.Fatalf("first window (%v,%v,%v), want (100,150,true)", d, u, ok)
+	}
+	d, u, ok = in.NextOutage(1, u)
+	if !ok || d != 300 || u != 360 {
+		t.Fatalf("second window (%v,%v,%v), want (300,360,true)", d, u, ok)
+	}
+	if _, _, ok = in.NextOutage(1, u); ok {
+		t.Fatal("exhausted node still failing")
+	}
+	if _, _, ok = in.NextOutage(0, 0); !ok {
+		t.Fatal("node 0 lost its window")
+	}
+}
+
+func TestStartSuppressesEarlyFailures(t *testing.T) {
+	s := expSpec(3, 100, 10)
+	s.Start = 5000
+	in, err := NewInjector(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, ok := in.NextOutage(0, 0)
+	if !ok {
+		t.Fatal("ran dry")
+	}
+	if d < 5000 {
+		t.Fatalf("outage at %v before start=5000", d)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := &Spec{Model: ModelExponential, MTBF: 10, MTTR: 1}
+	if s.EffectiveRecovery() != RecoverShrink {
+		t.Errorf("default recovery %q", s.EffectiveRecovery())
+	}
+	if s.EffectiveMaxRequeues() != DefaultMaxRequeues {
+		t.Errorf("default max requeues %d", s.EffectiveMaxRequeues())
+	}
+	if s.EffectiveShape() != 0.7 {
+		t.Errorf("default shape %v", s.EffectiveShape())
+	}
+	if (&Spec{}).Enabled() || (*Spec)(nil).Enabled() {
+		t.Error("empty spec reports enabled")
+	}
+}

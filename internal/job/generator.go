@@ -102,6 +102,11 @@ type Config struct {
 	// Users spreads jobs over this many synthetic accounts ("user0"...)
 	// for fair-share experiments (0 = no user attribution).
 	Users int
+	// CheckpointInterval, when non-empty, tags every generated job with
+	// this checkpoint_interval expression (seconds between restart
+	// checkpoints; "0" checkpoints every iteration). Empty leaves jobs
+	// without checkpoints — a node failure restarts them from scratch.
+	CheckpointInterval string
 }
 
 // DefaultProfiles is a balanced mix inspired by the workload classes HPC
@@ -158,6 +163,14 @@ func Generate(cfg Config) (*Workload, error) {
 	if cfg.CheckpointTarget == "" {
 		cfg.CheckpointTarget = TargetPFS
 	}
+	var ckptModel *Model
+	if cfg.CheckpointInterval != "" {
+		m, err := NewExprModel(cfg.CheckpointInterval)
+		if err != nil {
+			return nil, fmt.Errorf("job: checkpoint interval: %w", err)
+		}
+		ckptModel = m
+	}
 	rng := des.NewRNG(cfg.Seed)
 	arrivalRNG := rng.Split()
 	jobRNG := rng.Split()
@@ -178,6 +191,7 @@ func Generate(cfg Config) (*Workload, error) {
 		if err != nil {
 			return nil, err
 		}
+		j.CheckpointInterval = ckptModel
 		if cfg.Users > 0 {
 			j.User = fmt.Sprintf("user%d", jobRNG.Intn(cfg.Users))
 		}

@@ -70,6 +70,12 @@ type Job struct {
 	// with num_nodes_old/num_nodes_new in scope. Nil means reconfiguration
 	// is free.
 	ReconfigCost *Model
+	// CheckpointInterval models the target time (seconds) between
+	// program-counter checkpoints taken at iteration boundaries: after a
+	// node failure, only work since the last checkpoint is redone. Nil
+	// means no checkpoints (a failed job restarts from the beginning);
+	// an interval of 0 checkpoints every iteration.
+	CheckpointInterval *Model
 	// Dependencies lists jobs that must finish (complete or be killed —
 	// "afterany" semantics) before this job becomes schedulable. The
 	// dependency graph must be acyclic.
@@ -142,6 +148,11 @@ func (j *Job) Validate(totalNodes int) error {
 		allowed["num_nodes_new"] = true
 		if err := j.ReconfigCost.Validate(allowed); err != nil {
 			return fmt.Errorf("job %s: reconfig cost: %w", j.Label(), err)
+		}
+	}
+	if j.CheckpointInterval != nil {
+		if err := j.CheckpointInterval.Validate(engineVars(j.argNames())); err != nil {
+			return fmt.Errorf("job %s: checkpoint interval: %w", j.Label(), err)
 		}
 	}
 	return nil

@@ -144,6 +144,8 @@ type jobJSON struct {
 	User         string                   `json:"user,omitempty"`
 	Args         map[string]unit.Quantity `json:"args,omitempty"`
 	ReconfigCost *Model                   `json:"reconfig_cost,omitempty"`
+	// CheckpointInterval bounds node-failure badput (see Job).
+	CheckpointInterval *Model `json:"checkpoint_interval,omitempty"`
 	// Dependencies reference other jobs by name ("afterany" semantics).
 	Dependencies []string    `json:"dependencies,omitempty"`
 	Phases       []phaseJSON `json:"phases"`
@@ -190,17 +192,18 @@ func ParseWorkload(data []byte, totalNodes int) (*Workload, error) {
 	for i := range wj.Jobs {
 		jj := &wj.Jobs[i]
 		j := &Job{
-			ID:            ID(i),
-			Name:          jj.Name,
-			Type:          jj.Type,
-			SubmitTime:    float64(jj.SubmitTime),
-			NumNodes:      jj.NumNodes,
-			NumNodesMin:   jj.NumNodesMin,
-			NumNodesMax:   jj.NumNodesMax,
-			WallTimeLimit: float64(jj.WallTime),
-			User:          jj.User,
-			ReconfigCost:  jj.ReconfigCost,
-			App:           &Application{},
+			ID:                 ID(i),
+			Name:               jj.Name,
+			Type:               jj.Type,
+			SubmitTime:         float64(jj.SubmitTime),
+			NumNodes:           jj.NumNodes,
+			NumNodesMin:        jj.NumNodesMin,
+			NumNodesMax:        jj.NumNodesMax,
+			WallTimeLimit:      float64(jj.WallTime),
+			User:               jj.User,
+			ReconfigCost:       jj.ReconfigCost,
+			CheckpointInterval: jj.CheckpointInterval,
+			App:                &Application{},
 		}
 		if len(jj.Args) > 0 {
 			j.Args = make(map[string]float64, len(jj.Args))
@@ -268,15 +271,16 @@ func (w *Workload) MarshalJSON() ([]byte, error) {
 	wj := workloadJSON{Name: w.Name}
 	for _, j := range w.Jobs {
 		jj := jobJSON{
-			Name:         j.Name,
-			Type:         j.Type,
-			SubmitTime:   unit.Quantity(j.SubmitTime),
-			NumNodes:     j.NumNodes,
-			NumNodesMin:  j.NumNodesMin,
-			NumNodesMax:  j.NumNodesMax,
-			WallTime:     unit.Quantity(j.WallTimeLimit),
-			User:         j.User,
-			ReconfigCost: j.ReconfigCost,
+			Name:               j.Name,
+			Type:               j.Type,
+			SubmitTime:         unit.Quantity(j.SubmitTime),
+			NumNodes:           j.NumNodes,
+			NumNodesMin:        j.NumNodesMin,
+			NumNodesMax:        j.NumNodesMax,
+			WallTime:           unit.Quantity(j.WallTimeLimit),
+			User:               j.User,
+			ReconfigCost:       j.ReconfigCost,
+			CheckpointInterval: j.CheckpointInterval,
 		}
 		for _, dep := range j.Dependencies {
 			jj.Dependencies = append(jj.Dependencies, w.Jobs[dep].Label())

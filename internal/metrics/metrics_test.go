@@ -157,7 +157,7 @@ func TestRecorderLifecycle(t *testing.T) {
 	j := makeJob(0, job.Rigid)
 	rec.JobSubmitted(j, 0)
 	rec.JobStarted(j.ID, 10, 4)
-	rec.JobFinished(j.ID, 110, false)
+	rec.JobFinished(j.ID, 110, StatusCompleted)
 	r := rec.Record(j.ID)
 	if r.Wait() != 10 {
 		t.Errorf("Wait = %v", r.Wait())
@@ -192,7 +192,7 @@ func TestRecorderReconfiguration(t *testing.T) {
 	rec.JobStarted(j.ID, 0, 4)
 	rec.JobReconfigured(j.ID, 50, 12)
 	rec.JobReconfigured(j.ID, 80, 2)
-	rec.JobFinished(j.ID, 100, false)
+	rec.JobFinished(j.ID, 100, StatusCompleted)
 	r := rec.Record(j.ID)
 	// 4*50 + 12*30 + 2*20 = 200 + 360 + 40 = 600.
 	if r.NodeSeconds != 600 {
@@ -220,7 +220,7 @@ func TestRecorderKilled(t *testing.T) {
 	j := makeJob(0, job.Rigid)
 	rec.JobSubmitted(j, 0)
 	rec.JobStarted(j.ID, 0, 2)
-	rec.JobFinished(j.ID, 50, true)
+	rec.JobFinished(j.ID, 50, StatusKilledWalltime)
 	s := rec.Summary()
 	if s.Killed != 1 || s.Completed != 0 {
 		t.Errorf("killed accounting: %+v", s)
@@ -233,7 +233,7 @@ func TestRecorderUnfinishedExcluded(t *testing.T) {
 	rec.JobSubmitted(a, 0)
 	rec.JobSubmitted(b, 0)
 	rec.JobStarted(a.ID, 0, 2)
-	rec.JobFinished(a.ID, 10, false)
+	rec.JobFinished(a.ID, 10, StatusCompleted)
 	// b never starts.
 	s := rec.Summary()
 	if s.Jobs != 2 || s.Completed != 1 {
@@ -271,7 +271,7 @@ func TestSummaryStatistics(t *testing.T) {
 		rec.JobStarted(job.ID(i), float64(i*10), 1)
 	}
 	for i := 0; i < 10; i++ {
-		rec.JobFinished(job.ID(i), float64(i*10+100), false)
+		rec.JobFinished(job.ID(i), float64(i*10+100), StatusCompleted)
 	}
 	s := rec.Summary()
 	if s.MeanWait != 45 { // waits 0,10,...,90
@@ -311,7 +311,7 @@ func TestJobsCSV(t *testing.T) {
 	j.Name = "alpha"
 	rec.JobSubmitted(j, 0)
 	rec.JobStarted(j.ID, 5, 2)
-	rec.JobFinished(j.ID, 25, false)
+	rec.JobFinished(j.ID, 25, StatusCompleted)
 	var buf bytes.Buffer
 	if err := rec.WriteJobsCSV(&buf); err != nil {
 		t.Fatal(err)
@@ -365,9 +365,9 @@ func TestGroupSummary(t *testing.T) {
 	rec.JobStarted(0, 10, 2)
 	rec.JobStarted(1, 20, 2)
 	rec.JobStarted(2, 30, 4)
-	rec.JobFinished(0, 110, false)
-	rec.JobFinished(1, 120, true)
-	rec.JobFinished(2, 130, false)
+	rec.JobFinished(0, 110, StatusCompleted)
+	rec.JobFinished(1, 120, StatusKilledWalltime)
+	rec.JobFinished(2, 130, StatusCompleted)
 	rec.JobAbandoned(3, 140)
 
 	byType := rec.GroupSummary(ByType)
@@ -399,8 +399,8 @@ func TestWriteSWFRoundTripsThroughParser(t *testing.T) {
 	rec.JobSubmitted(j2, 20)
 	rec.JobStarted(0, 30, 4)
 	rec.JobStarted(1, 40, 2)
-	rec.JobFinished(1, 90, true) // killed
-	rec.JobFinished(0, 130, false)
+	rec.JobFinished(1, 90, StatusKilledWalltime) // killed
+	rec.JobFinished(0, 130, StatusCompleted)
 	var buf bytes.Buffer
 	if err := rec.WriteSWF(&buf, 2); err != nil {
 		t.Fatal(err)

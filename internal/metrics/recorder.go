@@ -9,6 +9,33 @@ import (
 	"repro/internal/job"
 )
 
+// JobStatus is a job's terminal outcome.
+type JobStatus string
+
+// Job completion statuses.
+const (
+	// StatusCompleted: the job ran its application to the end.
+	StatusCompleted JobStatus = "completed"
+	// StatusKilledWalltime: the engine killed the job at its walltime
+	// limit.
+	StatusKilledWalltime JobStatus = "killed-walltime"
+	// StatusKilledScheduler: a scheduler kill decision terminated the job
+	// (running or still pending).
+	StatusKilledScheduler JobStatus = "killed-by-scheduler"
+	// StatusFailedNode: a node failure killed the job and it was not (or
+	// could no longer be) requeued.
+	StatusFailedNode JobStatus = "failed-node"
+	// StatusRequeued: the job lost a node and is back in the queue; this
+	// is a transient status, overwritten by the terminal one when the job
+	// eventually finishes.
+	StatusRequeued JobStatus = "requeued"
+)
+
+// Failed reports whether the status is a terminal non-success.
+func (s JobStatus) Failed() bool {
+	return s != "" && s != StatusCompleted && s != StatusRequeued
+}
+
 // JobRecord is the per-job outcome of a simulation.
 type JobRecord struct {
 	ID   job.ID   `json:"id"`
@@ -21,8 +48,18 @@ type JobRecord struct {
 	Submit float64 `json:"submit"`
 	Start  float64 `json:"start"`
 	End    float64 `json:"end"`
-	// Killed reports walltime-limit termination.
+	// Killed reports any non-completed termination (walltime, scheduler
+	// kill, node failure). Status carries the distinction.
 	Killed bool `json:"killed,omitempty"`
+	// Status is the job's completion status ("" while unfinished,
+	// "requeued" while waiting to restart after a node failure).
+	Status JobStatus `json:"status,omitempty"`
+	// Requeues counts node-failure resubmissions of this job.
+	Requeues int `json:"requeues,omitempty"`
+	// BadputNodeSeconds is capacity the job consumed and lost to node
+	// failures (work since the last checkpoint at each kill, and the
+	// current iteration at each shrink-through-failure).
+	BadputNodeSeconds float64 `json:"badput_node_seconds,omitempty"`
 	// NodeSeconds integrates the allocation size over the job's runtime.
 	NodeSeconds float64 `json:"node_seconds"`
 	// Reconfigs counts applied allocation changes.
@@ -80,9 +117,15 @@ type Recorder struct {
 	order      []job.ID
 	busy       Timeline // allocated nodes
 	queued     Timeline // jobs waiting
+	down       Timeline // failed nodes (availability)
 	gantt      []GanttEntry
 	reconfigs  int
 	finalTime  float64
+
+	// Resilience counters.
+	nodeFailures int
+	requeues     int
+	badput       float64
 }
 
 // NewRecorder creates a recorder for a machine of totalNodes nodes.
@@ -112,12 +155,18 @@ func (rec *Recorder) JobSubmitted(j *job.Job, t float64) {
 	rec.queued.Add(t, 1)
 }
 
-// JobStarted registers a job beginning execution on nodes.
+// JobStarted registers a job beginning execution on nodes. A restart
+// after a node-failure requeue keeps the original Start and InitialNodes
+// (Wait measures the initial queueing delay).
 func (rec *Recorder) JobStarted(id job.ID, t float64, nodes int) {
 	r := rec.get(id)
-	r.Start = t
-	r.InitialNodes = nodes
-	r.PeakNodes = nodes
+	if r.Start < 0 {
+		r.Start = t
+		r.InitialNodes = nodes
+	}
+	if nodes > r.PeakNodes {
+		r.PeakNodes = nodes
+	}
 	r.curNodes = nodes
 	r.lastChange = t
 	rec.queued.Add(t, -1)
@@ -138,18 +187,67 @@ func (rec *Recorder) JobReconfigured(id job.ID, t float64, newNodes int) {
 	}
 }
 
-// JobFinished registers completion (killed = walltime exceeded).
-func (rec *Recorder) JobFinished(id job.ID, t float64, killed bool) {
+// JobFinished registers a terminal outcome with the given status.
+func (rec *Recorder) JobFinished(id job.ID, t float64, status JobStatus) {
 	r := rec.get(id)
 	r.NodeSeconds += float64(r.curNodes) * (t - r.lastChange)
 	rec.busy.Add(t, -float64(r.curNodes))
 	r.End = t
-	r.Killed = killed
+	r.Status = status
+	r.Killed = status != StatusCompleted
 	r.FinalNodes = r.curNodes
 	r.curNodes = 0
 	if t > rec.finalTime {
 		rec.finalTime = t
 	}
+}
+
+// JobFailed registers a running job being torn off its nodes by a node
+// failure. lost is the badput (node-seconds of work that must be redone,
+// i.e. consumed since the last checkpoint). The job is NOT terminal yet:
+// follow with JobRequeued (resubmission) or JobFinished with
+// StatusFailedNode (dropped).
+func (rec *Recorder) JobFailed(id job.ID, t float64, lost float64) {
+	r := rec.get(id)
+	r.NodeSeconds += float64(r.curNodes) * (t - r.lastChange)
+	rec.busy.Add(t, -float64(r.curNodes))
+	r.curNodes = 0
+	r.lastChange = t
+	if lost > 0 {
+		r.BadputNodeSeconds += lost
+		rec.badput += lost
+	}
+}
+
+// JobLostWork charges badput without touching the allocation (a shrink
+// through a failure redoes the interrupted iteration in place).
+func (rec *Recorder) JobLostWork(id job.ID, lost float64) {
+	if lost <= 0 {
+		return
+	}
+	r := rec.get(id)
+	r.BadputNodeSeconds += lost
+	rec.badput += lost
+}
+
+// JobRequeued registers a failed job re-entering the queue.
+func (rec *Recorder) JobRequeued(id job.ID, t float64) {
+	r := rec.get(id)
+	r.Requeues++
+	r.Status = StatusRequeued
+	rec.requeues++
+	rec.queued.Add(t, 1)
+}
+
+// NodeDown registers a node failure (availability timeline + counter).
+func (rec *Recorder) NodeDown(t float64) {
+	rec.nodeFailures++
+	rec.down.Add(t, 1)
+}
+
+// NodeUp registers a node repair.
+func (rec *Recorder) NodeUp(t float64) {
+	rec.down.Add(t, -1)
 }
 
 // JobAbandoned registers a job killed while still pending (never started).
@@ -161,6 +259,7 @@ func (rec *Recorder) JobAbandoned(id job.ID, t float64) {
 	rec.queued.Add(t, -1)
 	r.End = t
 	r.Killed = true
+	r.Status = StatusKilledScheduler
 	if t > rec.finalTime {
 		rec.finalTime = t
 	}
@@ -188,6 +287,10 @@ func (rec *Recorder) BusyTimeline() *Timeline { return &rec.busy }
 
 // QueueTimeline returns the queued-jobs step function.
 func (rec *Recorder) QueueTimeline() *Timeline { return &rec.queued }
+
+// DownTimeline returns the failed-nodes step function (all zeros without a
+// failure model).
+func (rec *Recorder) DownTimeline() *Timeline { return &rec.down }
 
 // Gantt returns the recorded allocation segments.
 func (rec *Recorder) Gantt() []GanttEntry { return rec.gantt }
@@ -218,6 +321,25 @@ type Summary struct {
 	Reconfigs int `json:"reconfigs"`
 	// NodeSeconds is total busy capacity.
 	NodeSeconds float64 `json:"node_seconds"`
+
+	// Resilience aggregates (all zero without a failure model).
+	// KilledWalltime/KilledByScheduler/FailedNode break Killed down by
+	// status.
+	KilledWalltime    int `json:"killed_walltime,omitempty"`
+	KilledByScheduler int `json:"killed_by_scheduler,omitempty"`
+	FailedNode        int `json:"failed_node,omitempty"`
+	// NodeFailures counts node-down events; Requeues counts job
+	// resubmissions after failures.
+	NodeFailures int `json:"node_failures,omitempty"`
+	Requeues     int `json:"requeues,omitempty"`
+	// DownNodeSeconds integrates lost capacity (down nodes × time);
+	// Availability is 1 − DownNodeSeconds/(totalNodes × makespan).
+	DownNodeSeconds float64 `json:"down_node_seconds,omitempty"`
+	Availability    float64 `json:"availability"`
+	// BadputNodeSeconds is consumed-then-lost capacity (work redone after
+	// failures); GoodputNodeSeconds = NodeSeconds − BadputNodeSeconds.
+	BadputNodeSeconds  float64 `json:"badput_node_seconds,omitempty"`
+	GoodputNodeSeconds float64 `json:"goodput_node_seconds,omitempty"`
 }
 
 // Summary computes aggregates over finished jobs.
@@ -235,6 +357,14 @@ func (rec *Recorder) Summary() Summary {
 		} else {
 			s.Completed++
 		}
+		switch r.Status {
+		case StatusKilledWalltime:
+			s.KilledWalltime++
+		case StatusKilledScheduler:
+			s.KilledByScheduler++
+		case StatusFailedNode:
+			s.FailedNode++
+		}
 		if r.Start < 0 {
 			continue // abandoned before starting: no wait/slowdown stats
 		}
@@ -251,8 +381,15 @@ func (rec *Recorder) Summary() Summary {
 		s.MeanSlowdown = mean(slowdowns)
 		s.MaxSlowdown = maxOf(slowdowns)
 	}
+	s.NodeFailures = rec.nodeFailures
+	s.Requeues = rec.requeues
+	s.BadputNodeSeconds = rec.badput
+	s.GoodputNodeSeconds = s.NodeSeconds - s.BadputNodeSeconds
+	s.Availability = 1
 	if rec.finalTime > 0 && rec.totalNodes > 0 {
 		s.Utilization = rec.busy.Integral(0, rec.finalTime) / (float64(rec.totalNodes) * rec.finalTime)
+		s.DownNodeSeconds = rec.down.Integral(0, rec.finalTime)
+		s.Availability = 1 - s.DownNodeSeconds/(float64(rec.totalNodes)*rec.finalTime)
 	}
 	return s
 }
@@ -298,7 +435,7 @@ func maxOf(xs []float64) float64 {
 
 // WriteJobsCSV emits one row per finished job.
 func (rec *Recorder) WriteJobsCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "id,name,type,submit,start,end,wait,runtime,turnaround,slowdown,nodes_initial,nodes_final,nodes_peak,reconfigs,node_seconds,killed"); err != nil {
+	if _, err := fmt.Fprintln(w, "id,name,type,submit,start,end,wait,runtime,turnaround,slowdown,nodes_initial,nodes_final,nodes_peak,reconfigs,node_seconds,killed,status,requeues,badput_node_seconds"); err != nil {
 		return err
 	}
 	for _, id := range rec.order {
@@ -306,10 +443,15 @@ func (rec *Recorder) WriteJobsCSV(w io.Writer) error {
 		if r.End < 0 {
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "%d,%s,%s,%g,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d,%g,%t\n",
+		status := r.Status
+		if status == "" {
+			status = StatusCompleted
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%g,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d,%g,%t,%s,%d,%g\n",
 			r.ID, r.Name, r.Type, r.Submit, r.Start, r.End,
 			r.Wait(), r.Runtime(), r.Turnaround(), r.BoundedSlowdown(),
-			r.InitialNodes, r.FinalNodes, r.PeakNodes, r.Reconfigs, r.NodeSeconds, r.Killed); err != nil {
+			r.InitialNodes, r.FinalNodes, r.PeakNodes, r.Reconfigs, r.NodeSeconds, r.Killed,
+			status, r.Requeues, r.BadputNodeSeconds); err != nil {
 			return err
 		}
 	}

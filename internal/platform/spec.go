@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/failure"
 	"repro/internal/unit"
 )
 
@@ -108,6 +109,9 @@ type Spec struct {
 	PFS *StorageSpec `json:"pfs,omitempty"`
 	// BurstBuffer describes the burst-buffer tier; nil disables it.
 	BurstBuffer *BurstBufferSpec `json:"burst_buffer,omitempty"`
+	// Failures describes the node failure/repair model; nil means nodes
+	// never fail. An engine-level failure spec overrides this one.
+	Failures *failure.Spec `json:"failures,omitempty"`
 }
 
 // TotalNodes returns the machine size.
@@ -168,6 +172,9 @@ func (s *Spec) Validate() error {
 		if s.BurstBuffer.ReadBandwidth <= 0 || s.BurstBuffer.WriteBandwidth <= 0 {
 			return fmt.Errorf("platform %q: burst buffer bandwidths must be positive", s.Name)
 		}
+	}
+	if err := s.Failures.Validate(); err != nil {
+		return fmt.Errorf("platform %q: %w", s.Name, err)
 	}
 	return nil
 }

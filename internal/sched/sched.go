@@ -72,6 +72,12 @@ const (
 	ReasonSchedulingPoint
 	ReasonEvolvingRequest
 	ReasonPeriodic
+	// ReasonNodeDown fires when a node fails: jobs may have been killed,
+	// requeued, or shrunk, and the failed node left the free pool.
+	ReasonNodeDown
+	// ReasonNodeUp fires when a failed node is repaired and returns to the
+	// free pool.
+	ReasonNodeUp
 )
 
 func (r Reason) String() string {
@@ -85,6 +91,8 @@ func (r Reason) String() string {
 		{ReasonSchedulingPoint, "scheduling-point"},
 		{ReasonEvolvingRequest, "evolving-request"},
 		{ReasonPeriodic, "periodic"},
+		{ReasonNodeDown, "node-down"},
+		{ReasonNodeUp, "node-up"},
 	} {
 		if r&e.bit != 0 {
 			parts = append(parts, e.name)
@@ -116,6 +124,10 @@ type Invocation struct {
 	// GroupSize is the tree topology's nodes-per-leaf-switch (0 when the
 	// network has no locality structure).
 	GroupSize int
+	// DownNodes lists failed nodes (ascending). Empty unless the platform
+	// has a failure model. Down nodes are never in FreeList and start
+	// decisions placing jobs on them are rejected.
+	DownNodes []int
 }
 
 // DecisionKind discriminates decisions.
