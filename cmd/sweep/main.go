@@ -5,7 +5,10 @@
 // Usage:
 //
 //	sweep -algorithms fcfs,easy,adaptive -shares 0,0.25,0.5,0.75,1 \
-//	      -seeds 1,2,3 -jobs 150 > grid.csv
+//	      -seeds 1,2,3 -jobs 150 -workers 0 > grid.csv
+//
+// Cells run concurrently (-workers; 0 means one per CPU). The CSV is
+// bit-identical for any worker count — only wall-clock columns vary.
 package main
 
 import (
@@ -25,10 +28,11 @@ func main() {
 		seeds      = flag.String("seeds", "1", "comma-separated workload seeds")
 		jobs       = flag.Int("jobs", 100, "jobs per run")
 		nodes      = flag.Int("nodes", 128, "machine size")
+		workers    = flag.Int("workers", 0, "concurrent grid cells (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
-	cfg := experiments.SweepConfig{Jobs: *jobs, Nodes: *nodes}
+	cfg := experiments.SweepConfig{Jobs: *jobs, Nodes: *nodes, Workers: *workers}
 	cfg.Algorithms = strings.Split(*algorithms, ",")
 	for _, s := range strings.Split(*shares, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)

@@ -165,6 +165,11 @@ type Result struct {
 	Invocations uint64
 	Decisions   uint64
 	Events      uint64
+	// Solves counts fluid-solver recomputations and SolvedActivities the
+	// total activities re-solved across them; the incremental solver
+	// drives the latter well below the full-recompute baseline.
+	Solves           uint64
+	SolvedActivities uint64
 	// Warnings lists rejected decisions and other anomalies.
 	Warnings []string
 	// Trace is the event log (when Options.Trace was set).
@@ -195,15 +200,17 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return &Result{
-		Summary:     rec.Summary(),
-		Records:     rec.Records(),
-		Recorder:    rec,
-		Invocations: eng.Invocations(),
-		Decisions:   eng.DecisionsApplied(),
-		Events:      eng.Steps(),
-		Warnings:    eng.Warnings(),
-		Trace:       eng.Trace(),
-		WallClock:   time.Since(begin),
+		Summary:          rec.Summary(),
+		Records:          rec.Records(),
+		Recorder:         rec,
+		Invocations:      eng.Invocations(),
+		Decisions:        eng.DecisionsApplied(),
+		Events:           eng.Steps(),
+		Solves:           eng.Solves(),
+		SolvedActivities: eng.SolvedActivities(),
+		Warnings:         eng.Warnings(),
+		Trace:            eng.Trace(),
+		WallClock:        time.Since(begin),
 	}, nil
 }
 

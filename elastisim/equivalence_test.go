@@ -1,0 +1,98 @@
+package elastisim
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// equivalenceRun executes one fixed-seed simulation of a mixed
+// rigid/moldable/malleable/evolving workload with checkpointing and node
+// failures — every code path that starts, cancels, grows, shrinks, or
+// kills fluid activities — and returns the result plus byte-exact dumps
+// of the trace and the per-job CSV. Trace times are formatted with %b
+// (exact binary float), so even a one-ulp divergence between solver
+// modes fails the comparison.
+func equivalenceRun(t *testing.T, forceFull bool) (*Result, string, []byte) {
+	t.Helper()
+	wl, err := GenerateWorkload(WorkloadConfig{
+		Seed: 11, Count: 60,
+		Arrival:            job.Arrival{Kind: job.ArrivalPoisson, Rate: 0.05},
+		Nodes:              [2]int{1, 16},
+		MachineNodes:       32,
+		NodeSpeed:          100e9,
+		TypeShares:         map[job.Type]float64{job.Rigid: 0.4, job.Moldable: 0.2, job.Malleable: 0.3, job.Evolving: 0.1},
+		CheckpointInterval: "120",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Platform:  HomogeneousPlatform("eq", 32, 100e9, 10e9, 40e9, 40e9),
+		Workload:  wl,
+		Algorithm: NewAdaptive(),
+		Failures: &FailureSpec{
+			Model: FailureExponential, Seed: 5,
+			MTBF: 20000, MTTR: 300,
+		},
+		Options: Options{Trace: true, ForceFullSolve: forceFull},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.NodeFailures == 0 {
+		t.Fatal("scenario injected no failures; the test is vacuous")
+	}
+	var trace strings.Builder
+	for _, ev := range res.Trace {
+		fmt.Fprintf(&trace, "%b %s job%d %s\n", ev.T, ev.Kind, ev.Job, ev.Detail)
+	}
+	var csv bytes.Buffer
+	if err := res.Recorder.WriteJobsCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	return res, trace.String(), csv.Bytes()
+}
+
+// TestIncrementalSolverEquivalence pins the central refactoring invariant:
+// the incremental, component-partitioned fluid solver must reproduce the
+// full-recompute baseline (Options.ForceFullSolve) bit for bit — same
+// trace at exact float precision, same CSV, same summary — while actually
+// re-solving strictly fewer activities.
+func TestIncrementalSolverEquivalence(t *testing.T) {
+	full, fullTrace, fullCSV := equivalenceRun(t, true)
+	inc, incTrace, incCSV := equivalenceRun(t, false)
+
+	if fullTrace != incTrace {
+		t.Errorf("traces diverge between full and incremental solving:\n%s", firstDiff(fullTrace, incTrace))
+	}
+	if !bytes.Equal(fullCSV, incCSV) {
+		t.Errorf("jobs CSV diverges between full and incremental solving")
+	}
+	if fs, is := fmt.Sprintf("%+v", full.Summary), fmt.Sprintf("%+v", inc.Summary); fs != is {
+		t.Errorf("summaries diverge:\nfull: %s\nincr: %s", fs, is)
+	}
+	if full.Solves != inc.Solves {
+		t.Errorf("solver invocation count diverges: full %d, incremental %d", full.Solves, inc.Solves)
+	}
+	// The whole point of partitioning: the incremental path must touch
+	// strictly fewer activities than re-solving every component each time.
+	if inc.SolvedActivities >= full.SolvedActivities {
+		t.Errorf("incremental solver re-solved %d activities, full recompute %d — no work saved",
+			inc.SolvedActivities, full.SolvedActivities)
+	}
+}
+
+// firstDiff locates the first differing line of two multi-line strings.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  full: %s\n  incr: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

@@ -56,6 +56,12 @@ type Options struct {
 	// machines; this switch exists for the equivalence tests and the
 	// simulator-performance ablation.
 	DisableFastPath bool
+	// ForceFullSolve disables the fluid solver's incremental component
+	// solving: every activity state change re-solves every component and
+	// re-examines every completion event. Results are bit-identical
+	// either way (asserted by the equivalence regression tests); the
+	// switch exists for those tests and performance comparisons.
+	ForceFullSolve bool
 	// Failures injects node failures and repairs (nil = none). It takes
 	// precedence over the platform spec's "failures" object, letting one
 	// platform file drive both clean and degraded runs.
@@ -109,6 +115,9 @@ func New(spec *platform.Spec, w *job.Workload, algo sched.Algorithm, opts Option
 	kernel := des.NewKernel()
 	pool := fluid.NewPool(kernel)
 	pool.SetFairness(opts.Fairness)
+	if opts.ForceFullSolve {
+		pool.SetForceFullSolve(true)
+	}
 	plat, err := platform.Build(spec, pool)
 	if err != nil {
 		return nil, err
@@ -214,6 +223,14 @@ func (e *Engine) Steps() uint64 { return e.kernel.Steps() }
 
 // Invocations returns how many times the algorithm was invoked.
 func (e *Engine) Invocations() uint64 { return e.invocations }
+
+// Solves returns how many fluid-solver recomputations ran.
+func (e *Engine) Solves() uint64 { return e.pool.Solves() }
+
+// SolvedActivities returns the cumulative number of activities the fluid
+// solver re-solved — the work metric incremental component solving cuts
+// relative to the full-recompute baseline.
+func (e *Engine) SolvedActivities() uint64 { return e.pool.SolvedActivities() }
 
 // DecisionsApplied returns how many decisions passed validation.
 func (e *Engine) DecisionsApplied() uint64 { return e.decisionsApplied }

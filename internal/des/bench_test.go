@@ -1,0 +1,34 @@
+package des
+
+import "testing"
+
+// BenchmarkScheduleCancel measures the dominant kernel pattern of the
+// fluid solver: schedule a completion event, then cancel and replace it
+// when rates change. Each iteration performs one schedule+cancel against a
+// backlog of 1024 pending events.
+func BenchmarkScheduleCancel(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < 1024; i++ {
+		k.Schedule(Time(float64(i)+1e6), PriorityDefault, func() {})
+	}
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := k.Schedule(Time(float64(i%1000)), PriorityActivity, fn)
+		k.Cancel(ev)
+	}
+}
+
+// BenchmarkScheduleFire measures the no-cancel path: schedule an event and
+// run it to completion, the cost floor for every simulated state change.
+func BenchmarkScheduleFire(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(k.Now(), PriorityDefault, fn)
+		k.Step()
+	}
+}

@@ -53,29 +53,19 @@ func (h *eventHeap) Pop() *Event {
 	return top
 }
 
-// Remove deletes ev from an arbitrary position.
-func (h *eventHeap) Remove(ev *Event) {
-	i := ev.index
-	if i < 0 || i >= len(h.items) || h.items[i] != ev {
-		return
-	}
-	last := len(h.items) - 1
-	if i != last {
-		h.items[i] = h.items[last]
+// Init re-establishes the heap invariant over the whole slice in O(n),
+// refreshing every event's index. Used after bulk tombstone compaction.
+func (h *eventHeap) Init() {
+	n := len(h.items)
+	for i := range h.items {
 		h.items[i].index = i
 	}
-	h.items[last] = nil
-	h.items = h.items[:last]
-	if i < last {
-		if !h.up(i) {
-			h.down(i)
-		}
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i)
 	}
-	ev.index = -1
 }
 
-func (h *eventHeap) up(i int) bool {
-	moved := false
+func (h *eventHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !less(h.items[i], h.items[parent]) {
@@ -83,9 +73,7 @@ func (h *eventHeap) up(i int) bool {
 		}
 		h.swap(i, parent)
 		i = parent
-		moved = true
 	}
-	return moved
 }
 
 func (h *eventHeap) down(i int) {

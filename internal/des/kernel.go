@@ -5,6 +5,13 @@
 // priority and then by insertion sequence, which makes simulations
 // bit-reproducible across runs regardless of map iteration order or
 // scheduling jitter in the host program.
+//
+// Cancellation is lazy: Cancel marks the event dead in O(1) and the queue
+// skims tombstones off the top (or compacts in bulk when they accumulate),
+// so the heavy cancel/reschedule churn of the fluid solver costs amortised
+// constant time instead of a heap removal per cancel. Owners that hold the
+// only reference to an event can additionally Release it, letting the
+// kernel recycle the allocation for a future Schedule.
 package des
 
 import (
@@ -55,17 +62,23 @@ type Event struct {
 	seq      uint64
 	index    int // position in the heap, -1 once removed
 	fn       Handler
+	dead     bool // cancelled but possibly still queued (tombstone)
+	released bool // owner relinquished the pointer; recycle when dequeued
 }
 
 // Time returns the timestamp the event is scheduled for.
 func (e *Event) Time() Time { return e.time }
 
-// Cancelled reports whether the event was removed from the queue before
-// firing (or has already fired).
-func (e *Event) Cancelled() bool { return e.index < 0 }
+// Cancelled reports whether the event was cancelled before firing (or has
+// already fired).
+func (e *Event) Cancelled() bool { return e.dead || e.index < 0 }
 
 // ErrHalted is returned by Run when the simulation was stopped explicitly.
 var ErrHalted = errors.New("des: simulation halted")
+
+// compactMinQueue is the queue size below which tombstones are never
+// compacted in bulk; skimming at the top suffices for small queues.
+const compactMinQueue = 64
 
 // Kernel is a discrete-event simulation driver. The zero value is not
 // usable; create kernels with NewKernel.
@@ -76,6 +89,8 @@ type Kernel struct {
 	halted  bool
 	steps   uint64
 	maxTime Time
+	tombs   int      // dead events still sitting in the queue
+	free    []*Event // released events ready for reuse by Schedule
 }
 
 // NewKernel returns an empty kernel with the clock at zero.
@@ -90,8 +105,8 @@ func (k *Kernel) Now() Time { return k.now }
 // simulator-performance experiments.
 func (k *Kernel) Steps() uint64 { return k.steps }
 
-// Pending returns the number of events currently queued.
-func (k *Kernel) Pending() int { return k.queue.Len() }
+// Pending returns the number of live (non-cancelled) events queued.
+func (k *Kernel) Pending() int { return k.queue.Len() - k.tombs }
 
 // Schedule enqueues fn to run at absolute time t with the given priority.
 // Scheduling in the past panics: it always indicates a simulation bug.
@@ -102,7 +117,15 @@ func (k *Kernel) Schedule(t Time, p Priority, fn Handler) *Event {
 	if fn == nil {
 		panic("des: nil event handler")
 	}
-	ev := &Event{time: t, priority: p, seq: k.seq, fn: fn}
+	var ev *Event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		*ev = Event{time: t, priority: p, seq: k.seq, fn: fn}
+	} else {
+		ev = &Event{time: t, priority: p, seq: k.seq, fn: fn}
+	}
 	k.seq++
 	k.queue.Push(ev)
 	return ev
@@ -116,13 +139,80 @@ func (k *Kernel) ScheduleAfter(d Time, p Priority, fn Handler) *Event {
 	return k.Schedule(k.now+d, p, fn)
 }
 
-// Cancel removes ev from the queue. Cancelling an event that already fired
-// or was cancelled is a no-op.
+// Cancel marks ev dead in O(1); the queue drops the tombstone lazily.
+// Cancelling an event that already fired or was cancelled is a no-op.
 func (k *Kernel) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+	if ev == nil || ev.dead || ev.index < 0 {
 		return
 	}
-	k.queue.Remove(ev)
+	ev.dead = true
+	k.tombs++
+	// Keep the queue at least half live so skimming stays amortised O(1)
+	// and memory is bounded by twice the live event count.
+	if k.tombs*2 > len(k.queue.items) && len(k.queue.items) >= compactMinQueue {
+		k.compact()
+	}
+}
+
+// Release hands an event's allocation back to the kernel for reuse. The
+// caller asserts it holds the only remaining reference and will not touch
+// the pointer again; the event must already be cancelled or fired.
+// Releasing nil is a no-op.
+func (k *Kernel) Release(ev *Event) {
+	if ev == nil || ev.released {
+		return
+	}
+	if ev.index >= 0 && !ev.dead {
+		panic("des: Release of a live scheduled event")
+	}
+	ev.released = true
+	if ev.index < 0 {
+		k.recycle(ev)
+	}
+	// Otherwise the event is a tombstone still in the heap; it is recycled
+	// when skimmed or compacted away.
+}
+
+// recycle pushes a detached, released event onto the free list.
+func (k *Kernel) recycle(ev *Event) {
+	ev.fn = nil
+	k.free = append(k.free, ev)
+}
+
+// skim pops dead events off the top of the queue, recycling released ones.
+func (k *Kernel) skim() {
+	for {
+		ev := k.queue.Peek()
+		if ev == nil || !ev.dead {
+			return
+		}
+		k.queue.Pop()
+		k.tombs--
+		if ev.released {
+			k.recycle(ev)
+		}
+	}
+}
+
+// compact rebuilds the queue without tombstones in O(n).
+func (k *Kernel) compact() {
+	live := k.queue.items[:0]
+	for _, ev := range k.queue.items {
+		if ev.dead {
+			ev.index = -1
+			if ev.released {
+				k.recycle(ev)
+			}
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(k.queue.items); i++ {
+		k.queue.items[i] = nil
+	}
+	k.queue.items = live
+	k.queue.Init()
+	k.tombs = 0
 }
 
 // Reschedule moves an event to a new time, preserving its handler and
@@ -131,8 +221,9 @@ func (k *Kernel) Reschedule(ev *Event, t Time) *Event {
 	if ev == nil {
 		panic("des: reschedule of nil event")
 	}
+	fn, prio := ev.fn, ev.priority
 	k.Cancel(ev)
-	return k.Schedule(t, ev.priority, ev.fn)
+	return k.Schedule(t, prio, fn)
 }
 
 // Halt stops the run loop after the current event completes.
@@ -145,6 +236,7 @@ func (k *Kernel) SetHorizon(t Time) { k.maxTime = t }
 // Step executes the single earliest event. It returns false when the queue
 // is empty or the next event lies beyond the horizon.
 func (k *Kernel) Step() bool {
+	k.skim()
 	ev := k.queue.Peek()
 	if ev == nil || ev.time > k.maxTime || k.halted {
 		return false

@@ -60,26 +60,26 @@ func mustRun(cfg elastisim.Config) (*elastisim.Result, error) {
 // workload scheduled rigid-only (EASY) versus fully malleable (adaptive).
 // It returns the table of time-bucketed utilization plus both results.
 func E1Utilization(seed uint64, count int) (*Table, *elastisim.Result, *elastisim.Result, error) {
-	rigidWL, err := standardWorkload(seed, count, 0)
-	if err != nil {
-		return nil, nil, nil, err
+	arms := []struct {
+		share float64
+		algo  func() elastisim.Algorithm
+	}{
+		{0, elastisim.NewEASY},
+		{1, elastisim.NewAdaptive},
 	}
-	mallWL, err := standardWorkload(seed, count, 1)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	rigid, err := mustRun(elastisim.Config{
-		Platform: StandardPlatform(stdNodes), Workload: rigidWL, Algorithm: elastisim.NewEASY(),
+	results, err := runIndexed(0, len(arms), func(i int) (*elastisim.Result, error) {
+		wl, err := standardWorkload(seed, count, arms[i].share)
+		if err != nil {
+			return nil, err
+		}
+		return mustRun(elastisim.Config{
+			Platform: StandardPlatform(stdNodes), Workload: wl, Algorithm: arms[i].algo(),
+		})
 	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	mall, err := mustRun(elastisim.Config{
-		Platform: StandardPlatform(stdNodes), Workload: mallWL, Algorithm: elastisim.NewAdaptive(),
-	})
-	if err != nil {
-		return nil, nil, nil, err
-	}
+	rigid, mall := results[0], results[1]
 	t := &Table{
 		ID:     "E1",
 		Title:  "cluster utilization over time, rigid (EASY) vs malleable (adaptive)",
@@ -108,21 +108,22 @@ func E2MalleableShare(seed uint64, count int) (*Table, []*elastisim.Result, erro
 		Title:  "batch metrics vs malleable job share (adaptive policy)",
 		Header: []string{"malleable", "makespan", "mean_turnaround", "mean_wait", "utilization", "reconfigs"},
 	}
-	var results []*elastisim.Result
-	for _, share := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
-		wl, err := standardWorkload(seed, count, share)
+	shares := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	results, err := runIndexed(0, len(shares), func(i int) (*elastisim.Result, error) {
+		wl, err := standardWorkload(seed, count, shares[i])
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		res, err := mustRun(elastisim.Config{
+		return mustRun(elastisim.Config{
 			Platform: StandardPlatform(stdNodes), Workload: wl, Algorithm: elastisim.NewAdaptive(),
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range results {
 		s := res.Summary
-		t.AddRow(pct(share), f1(s.Makespan), f1(s.MeanTurnaround), f1(s.MeanWait),
+		t.AddRow(pct(shares[i]), f1(s.Makespan), f1(s.MeanTurnaround), f1(s.MeanWait),
 			pct(s.Utilization), fmt.Sprintf("%d", s.Reconfigs))
 	}
 	first, last := results[0].Summary, results[len(results)-1].Summary
@@ -134,36 +135,35 @@ func E2MalleableShare(seed uint64, count int) (*Table, []*elastisim.Result, erro
 // E3Schedulers reproduces the scheduling-algorithm comparison table on one
 // fixed mixed workload (50% malleable).
 func E3Schedulers(seed uint64, count int) (*Table, map[string]*elastisim.Result, error) {
-	wl, err := standardWorkload(seed, count, 0.5)
-	if err != nil {
-		return nil, nil, err
-	}
 	t := &Table{
 		ID:     "E3",
 		Title:  "scheduler comparison on a 50% malleable workload",
 		Header: []string{"algorithm", "makespan", "mean_wait", "p95_wait", "mean_slowdown", "utilization"},
 	}
-	results := map[string]*elastisim.Result{}
-	for _, name := range []string{"fcfs", "sjf", "conservative", "easy", "adaptive"} {
-		algo, err := elastisim.NewAlgorithm(name)
+	names := []string{"fcfs", "sjf", "conservative", "easy", "adaptive"}
+	runs, err := runIndexed(0, len(names), func(i int) (*elastisim.Result, error) {
+		// Algorithms are stateful and workloads carry per-run bookkeeping,
+		// so each worker constructs its own copies.
+		algo, err := elastisim.NewAlgorithm(names[i])
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		// Re-generate the workload each run: jobs are mutated-free but
-		// sharing is safer to avoid accidental cross-run state.
-		wl, err = standardWorkload(seed, count, 0.5)
+		wl, err := standardWorkload(seed, count, 0.5)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		res, err := mustRun(elastisim.Config{
+		return mustRun(elastisim.Config{
 			Platform: StandardPlatform(stdNodes), Workload: wl, Algorithm: algo,
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		results[name] = res
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	results := map[string]*elastisim.Result{}
+	for i, res := range runs {
+		results[names[i]] = res
 		s := res.Summary
-		t.AddRow(name, f1(s.Makespan), f1(s.MeanWait), f1(s.P95Wait), f2(s.MeanSlowdown), pct(s.Utilization))
+		t.AddRow(names[i], f1(s.Makespan), f1(s.MeanWait), f1(s.P95Wait), f2(s.MeanSlowdown), pct(s.Utilization))
 	}
 	t.AddNote("expected shape: EASY <= FCFS makespan; adaptive best (exploits malleability)")
 	return t, results, nil
@@ -191,26 +191,22 @@ func E4BurstBuffer(seed uint64, count int) (*Table, *elastisim.Result, *elastisi
 			CheckpointTarget: target,
 		})
 	}
-	spec := StandardPlatform(stdNodes)
-	spec.BurstBuffer = &platform.BurstBufferSpec{
-		Kind: platform.BBNodeLocal, ReadBandwidth: 4e9, WriteBandwidth: 4e9,
-	}
-	wlPFS, err := gen(job.TargetPFS)
+	targets := []job.IOTarget{job.TargetPFS, job.TargetBB}
+	runs, err := runIndexed(0, len(targets), func(i int) (*elastisim.Result, error) {
+		spec := StandardPlatform(stdNodes)
+		spec.BurstBuffer = &platform.BurstBufferSpec{
+			Kind: platform.BBNodeLocal, ReadBandwidth: 4e9, WriteBandwidth: 4e9,
+		}
+		wl, err := gen(targets[i])
+		if err != nil {
+			return nil, err
+		}
+		return mustRun(elastisim.Config{Platform: spec, Workload: wl, Algorithm: elastisim.NewEASY()})
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	wlBB, err := gen(job.TargetBB)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	pfs, err := mustRun(elastisim.Config{Platform: spec, Workload: wlPFS, Algorithm: elastisim.NewEASY()})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	bb, err := mustRun(elastisim.Config{Platform: spec, Workload: wlBB, Algorithm: elastisim.NewEASY()})
-	if err != nil {
-		return nil, nil, nil, err
-	}
+	pfs, bb := runs[0], runs[1]
 	t := &Table{
 		ID:     "E4",
 		Title:  "checkpoint target: shared PFS vs node-local burst buffers",
@@ -246,34 +242,42 @@ func E5Scalability(seed uint64) (*Table, error) {
 		Title:  "simulator performance: wall-clock vs jobs and machine size",
 		Header: []string{"nodes", "jobs", "sim_events", "wall_ms", "events_per_s", "sim_makespan"},
 	}
+	type cell struct{ nodes, jobs int }
+	var cells []cell
 	for _, nodes := range []int{64, 256, 1024} {
 		for _, jobs := range []int{100, 200, 400} {
-			wl, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
-				Name: "scal", Seed: seed, Count: jobs,
-				Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: float64(nodes) / 1200.0},
-				Nodes:        [2]int{1, min(64, nodes)},
-				MachineNodes: nodes,
-				NodeSpeed:    stdNodeSpeed,
-				TypeShares:   map[job.Type]float64{job.Rigid: 0.5, job.Malleable: 0.5},
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := mustRun(elastisim.Config{
-				Platform:  StandardPlatform(nodes),
-				Workload:  wl,
-				Algorithm: elastisim.NewAdaptive(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			evPerSec := float64(res.Events) / res.WallClock.Seconds()
-			t.AddRow(fmt.Sprintf("%d", nodes), fmt.Sprintf("%d", jobs),
-				fmt.Sprintf("%d", res.Events),
-				fmt.Sprintf("%d", res.WallClock.Milliseconds()),
-				fmt.Sprintf("%.0f", evPerSec),
-				f1(res.Summary.Makespan))
+			cells = append(cells, cell{nodes, jobs})
 		}
+	}
+	results, err := runIndexed(0, len(cells), func(i int) (*elastisim.Result, error) {
+		c := cells[i]
+		wl, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+			Name: "scal", Seed: seed, Count: c.jobs,
+			Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: float64(c.nodes) / 1200.0},
+			Nodes:        [2]int{1, min(64, c.nodes)},
+			MachineNodes: c.nodes,
+			NodeSpeed:    stdNodeSpeed,
+			TypeShares:   map[job.Type]float64{job.Rigid: 0.5, job.Malleable: 0.5},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return mustRun(elastisim.Config{
+			Platform:  StandardPlatform(c.nodes),
+			Workload:  wl,
+			Algorithm: elastisim.NewAdaptive(),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		evPerSec := float64(res.Events) / res.WallClock.Seconds()
+		t.AddRow(fmt.Sprintf("%d", cells[i].nodes), fmt.Sprintf("%d", cells[i].jobs),
+			fmt.Sprintf("%d", res.Events),
+			fmt.Sprintf("%d", res.WallClock.Milliseconds()),
+			fmt.Sprintf("%.0f", evPerSec),
+			f1(res.Summary.Makespan))
 	}
 	t.AddNote("wall-clock grows with event count; events grow near-linearly with job count")
 	return t, nil
@@ -331,14 +335,14 @@ func E6Validation() (*Table, []ValidationCase, error) {
 		Title:  "validation: simulated vs analytic durations",
 		Header: []string{"case", "simulated_s", "analytic_s", "rel_error"},
 	}
-	var out []ValidationCase
-	for _, c := range cases {
-		vc, err := single(c.name, c.j, c.want)
-		if err != nil {
-			return nil, nil, err
-		}
-		out = append(out, vc)
-		t.AddRow(c.name, f3(vc.Simulated), f3(vc.Analytic), pct(vc.Error()))
+	out, err := runIndexed(0, len(cases), func(i int) (ValidationCase, error) {
+		return single(cases[i].name, cases[i].j, cases[i].want)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, vc := range out {
+		t.AddRow(vc.Name, f3(vc.Simulated), f3(vc.Analytic), pct(vc.Error()))
 	}
 	// Contention case needs two jobs.
 	two := &elastisim.Workload{Jobs: []*elastisim.Job{
@@ -455,24 +459,25 @@ func E8ReconfigCost(seed uint64, count int) (*Table, []*elastisim.Result, error)
 		Title:  "sensitivity to reconfiguration cost (100% malleable, adaptive)",
 		Header: []string{"cost_s", "makespan", "mean_turnaround", "utilization", "reconfigs"},
 	}
-	var results []*elastisim.Result
-	for _, cost := range []float64{0, 1, 10, 60, 300} {
+	costs := []float64{0, 1, 10, 60, 300}
+	results, err := runIndexed(0, len(costs), func(i int) (*elastisim.Result, error) {
 		wl, err := standardWorkload(seed, count, 1)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		for _, j := range wl.Jobs {
-			j.ReconfigCost = job.ConstModel(cost)
+			j.ReconfigCost = job.ConstModel(costs[i])
 		}
-		res, err := mustRun(elastisim.Config{
+		return mustRun(elastisim.Config{
 			Platform: StandardPlatform(stdNodes), Workload: wl, Algorithm: elastisim.NewAdaptive(),
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range results {
 		s := res.Summary
-		t.AddRow(f1(cost), f1(s.Makespan), f1(s.MeanTurnaround), pct(s.Utilization),
+		t.AddRow(f1(costs[i]), f1(s.Makespan), f1(s.MeanTurnaround), pct(s.Utilization),
 			fmt.Sprintf("%d", s.Reconfigs))
 	}
 	first, last := results[0].Summary, results[len(results)-1].Summary
@@ -535,8 +540,8 @@ func E9Topology(seed uint64, count int) (*Table, []*elastisim.Result, error) {
 		Title:  "network sensitivity: star vs tapered tree (comm-heavy workload, EASY)",
 		Header: []string{"network", "makespan", "mean_turnaround", "mean_slowdown", "utilization"},
 	}
-	var results []*elastisim.Result
-	for _, v := range variants {
+	results, err := runIndexed(0, len(variants), func(i int) (*elastisim.Result, error) {
+		v := variants[i]
 		spec := StandardPlatform(stdNodes)
 		if v.uplinkBW > 0 {
 			spec.Network.Topology = platform.TopologyTree
@@ -545,17 +550,18 @@ func E9Topology(seed uint64, count int) (*Table, []*elastisim.Result, error) {
 		}
 		wl, err := gen()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		res, err := mustRun(elastisim.Config{
+		return mustRun(elastisim.Config{
 			Platform: spec, Workload: wl, Algorithm: elastisim.NewEASY(),
 		})
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range results {
 		s := res.Summary
-		t.AddRow(v.name, f1(s.Makespan), f1(s.MeanTurnaround), f2(s.MeanSlowdown), pct(s.Utilization))
+		t.AddRow(variants[i].name, f1(s.Makespan), f1(s.MeanTurnaround), f2(s.MeanSlowdown), pct(s.Utilization))
 	}
 	t.AddNote("tapering the uplinks stretches cross-switch collectives; a 1:16 taper visibly hurts turnaround")
 	return t, results, nil

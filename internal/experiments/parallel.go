@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Simulations within an experiment grid are independent: each cell builds
+// its own workload, platform, and engine from value parameters, so cells
+// can run on separate goroutines without sharing mutable state. runIndexed
+// is the worker-pool driver all grid experiments (Sweep, the E-series
+// drivers, the ablations) fan out through. Results land in a slice indexed
+// by cell, so the output order — and every simulated value in it — is
+// bit-identical to a sequential run regardless of scheduling.
+
+// resolveWorkers maps a worker-count knob to an effective pool size:
+// 0 means one worker per CPU, and the pool never exceeds the cell count.
+func resolveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// runIndexed evaluates fn(0..n-1) on a pool of workers and returns the
+// results in index order. Errors are deterministic too: the error from the
+// lowest failing index wins, however the goroutines interleave. With
+// workers <= 1 (or a single cell) everything runs inline on the caller's
+// goroutine.
+func runIndexed[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers = resolveWorkers(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			if out[i], err = fn(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

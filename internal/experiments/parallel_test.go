@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunIndexedOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		out, err := runIndexed(workers, 17, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 17 {
+			t.Fatalf("workers=%d: len %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunIndexedEmpty(t *testing.T) {
+	out, err := runIndexed(4, 0, func(i int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+// The error from the lowest failing index must win regardless of how the
+// worker goroutines interleave, so error reporting is deterministic.
+func TestRunIndexedLowestErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for range 20 {
+		_, err := runIndexed(4, 32, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errLow
+			case 20:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("got %v, want the error from index 3", err)
+		}
+	}
+}
+
+// Every index must be evaluated exactly once.
+func TestRunIndexedEachOnce(t *testing.T) {
+	var calls [64]atomic.Int32
+	_, err := runIndexed(8, len(calls), func(i int) (struct{}, error) {
+		calls[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("index %d evaluated %d times", i, n)
+		}
+	}
+}
+
+// TestSweepParallelEquivalence pins the parallel-runner invariant: any
+// worker count produces the same grid, cell for cell, as a sequential
+// run — summaries and event counts identical; only wall-clock may vary.
+func TestSweepParallelEquivalence(t *testing.T) {
+	cfg := SweepConfig{
+		Algorithms: []string{"easy", "adaptive"},
+		Shares:     []float64{0, 1},
+		Seeds:      []uint64{7},
+		Jobs:       25,
+		Nodes:      32,
+	}
+	seqCfg := cfg
+	seqCfg.Workers = 1
+	seq, err := Sweep(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := cfg
+	parCfg.Workers = 4
+	par, err := Sweep(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("cell counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Algorithm != par[i].Algorithm || seq[i].MalleableShare != par[i].MalleableShare ||
+			seq[i].Seed != par[i].Seed {
+			t.Fatalf("cell %d identity differs: %+v vs %+v", i, seq[i], par[i])
+		}
+		if seq[i].Summary != par[i].Summary {
+			t.Errorf("cell %d summary differs between sequential and parallel runs", i)
+		}
+		if seq[i].Events != par[i].Events {
+			t.Errorf("cell %d events: sequential %d, parallel %d", i, seq[i].Events, par[i].Events)
+		}
+	}
+}

@@ -81,25 +81,34 @@ func E10Resilience(seed uint64, count int) (*Table, map[string]*elastisim.Result
 			pct(s.Availability))
 	}
 
+	// Both sweeps flatten into one cell list so the worker pool sees all
+	// eleven independent runs at once; rows are still emitted in the
+	// original order afterwards.
+	//
 	// MTBF sweep at a fixed checkpoint interval. MTBF 0 disables failures
 	// entirely — the MTBF -> infinity limit, where both arms must agree.
 	// Resubmission is unbounded here: a terminally failed job would drop
 	// its remaining work and bias the makespan comparison.
+	type cell struct {
+		key, mtbfLabel, ckptLabel string
+		ckpt                      string
+		mtbf                      float64
+		rec                       elastisim.RecoveryPolicy
+		maxRequeues               int
+	}
+	var cells []cell
 	for _, mtbf := range []float64{6000, 24000, 96000, 0} {
 		label := f1(mtbf)
 		if mtbf == 0 {
 			label = "inf"
 		}
 		for _, rec := range policies {
-			res, err := e10Run(seed, count, stdCkpt, mtbf, rec, 1<<20)
-			if err != nil {
-				return nil, nil, err
-			}
-			results[fmt.Sprintf("mtbf=%s/%s", label, rec)] = res
-			addRow(label, stdCkpt, rec, res)
+			cells = append(cells, cell{
+				key: fmt.Sprintf("mtbf=%s/%s", label, rec), mtbfLabel: label,
+				ckptLabel: stdCkpt, ckpt: stdCkpt, mtbf: mtbf, rec: rec, maxRequeues: 1 << 20,
+			})
 		}
 	}
-
 	// Checkpoint-interval sweep at the shortest MTBF under the requeue
 	// policy, where checkpoint density directly bounds the badput. The
 	// default requeue budget applies: with coarse or missing checkpoints,
@@ -107,16 +116,25 @@ func E10Resilience(seed uint64, count int) (*Table, map[string]*elastisim.Result
 	// and eventually exhaust their resubmissions (the "failed" column) —
 	// unbounded they would livelock.
 	for _, ckpt := range []string{"60", "1800", ""} {
-		res, err := e10Run(seed, count, ckpt, 6000, elastisim.RecoverRequeue, 0)
-		if err != nil {
-			return nil, nil, err
-		}
 		label := ckpt
 		if ckpt == "" {
 			label = "none"
 		}
-		results["ckpt="+label] = res
-		addRow(f1(6000), label, elastisim.RecoverRequeue, res)
+		cells = append(cells, cell{
+			key: "ckpt=" + label, mtbfLabel: f1(6000), ckptLabel: label,
+			ckpt: ckpt, mtbf: 6000, rec: elastisim.RecoverRequeue, maxRequeues: 0,
+		})
+	}
+	runs, err := runIndexed(0, len(cells), func(i int) (*elastisim.Result, error) {
+		c := cells[i]
+		return e10Run(seed, count, c.ckpt, c.mtbf, c.rec, c.maxRequeues)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range runs {
+		results[cells[i].key] = res
+		addRow(cells[i].mtbfLabel, cells[i].ckptLabel, cells[i].rec, res)
 	}
 
 	shrink := results["mtbf=6000.0/shrink"].Summary

@@ -32,6 +32,11 @@ type SweepConfig struct {
 	Jobs int
 	// Nodes is the machine size (default 128).
 	Nodes int
+	// Workers caps how many grid cells run concurrently: 0 means one per
+	// CPU, 1 forces sequential execution. Cells are independent
+	// simulations, so every simulated value is bit-identical across
+	// worker counts; only wall-clock measurements vary.
+	Workers int
 }
 
 func (c *SweepConfig) withDefaults() SweepConfig {
@@ -55,56 +60,66 @@ func (c *SweepConfig) withDefaults() SweepConfig {
 }
 
 // Sweep runs the full grid: every algorithm on every (share, seed)
-// workload. Runs are independent and deterministic per cell.
+// workload. Cells are independent simulations fanned across the worker
+// pool (cfg.Workers); the returned points are in grid order and
+// bit-identical to a sequential run.
 func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 	cfg = cfg.withDefaults()
-	var out []SweepPoint
+	type cell struct {
+		algorithm string
+		share     float64
+		seed      uint64
+	}
+	var cells []cell
 	for _, seed := range cfg.Seeds {
 		for _, share := range cfg.Shares {
 			for _, name := range cfg.Algorithms {
-				algo, err := elastisim.NewAlgorithm(name)
-				if err != nil {
-					return nil, err
-				}
-				shares := map[job.Type]float64{}
-				if share < 1 {
-					shares[job.Rigid] = 1 - share
-				}
-				if share > 0 {
-					shares[job.Malleable] = share
-				}
-				wl, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
-					Name: "sweep", Seed: seed, Count: cfg.Jobs,
-					Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: float64(cfg.Nodes) / 2304.0},
-					Nodes:        [2]int{2, min(64, cfg.Nodes)},
-					MachineNodes: cfg.Nodes,
-					NodeSpeed:    stdNodeSpeed,
-					TypeShares:   shares,
-				})
-				if err != nil {
-					return nil, err
-				}
-				res, err := mustRun(elastisim.Config{
-					Platform:  StandardPlatform(cfg.Nodes),
-					Workload:  wl,
-					Algorithm: algo,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("sweep cell (%s, %.2f, %d): %w", name, share, seed, err)
-				}
-				out = append(out, SweepPoint{
-					Algorithm:      name,
-					MalleableShare: share,
-					Seed:           seed,
-					Jobs:           cfg.Jobs,
-					Summary:        res.Summary,
-					Events:         res.Events,
-					WallMillis:     res.WallClock.Milliseconds(),
-				})
+				cells = append(cells, cell{name, share, seed})
 			}
 		}
 	}
-	return out, nil
+	return runIndexed(cfg.Workers, len(cells), func(i int) (SweepPoint, error) {
+		c := cells[i]
+		algo, err := elastisim.NewAlgorithm(c.algorithm)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		shares := map[job.Type]float64{}
+		if c.share < 1 {
+			shares[job.Rigid] = 1 - c.share
+		}
+		if c.share > 0 {
+			shares[job.Malleable] = c.share
+		}
+		wl, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+			Name: "sweep", Seed: c.seed, Count: cfg.Jobs,
+			Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: float64(cfg.Nodes) / 2304.0},
+			Nodes:        [2]int{2, min(64, cfg.Nodes)},
+			MachineNodes: cfg.Nodes,
+			NodeSpeed:    stdNodeSpeed,
+			TypeShares:   shares,
+		})
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		res, err := mustRun(elastisim.Config{
+			Platform:  StandardPlatform(cfg.Nodes),
+			Workload:  wl,
+			Algorithm: algo,
+		})
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("sweep cell (%s, %.2f, %d): %w", c.algorithm, c.share, c.seed, err)
+		}
+		return SweepPoint{
+			Algorithm:      c.algorithm,
+			MalleableShare: c.share,
+			Seed:           c.seed,
+			Jobs:           cfg.Jobs,
+			Summary:        res.Summary,
+			Events:         res.Events,
+			WallMillis:     res.WallClock.Milliseconds(),
+		}, nil
+	})
 }
 
 // WriteSweepCSV emits the grid as CSV for external analysis.

@@ -13,14 +13,39 @@
 // that resource are frozen, and filling continues for the rest
 // (progressive filling). An alternative equal-split policy is provided for
 // the fairness ablation experiment.
+//
+// # Incremental solving
+//
+// Rates are solved per connected component of the bipartite
+// activity–resource graph: two activities interact only if they are
+// linked by a chain of shared resources, so a Start, Cancel, or completion
+// can only change rates inside the touched component(s). The pool
+// maintains per-resource membership lists, discovers the affected
+// component(s) by traversal on each state change, and re-solves just
+// those, leaving every other activity's rate — and, crucially, its
+// scheduled completion event — untouched. Activities within a component
+// are always solved in start order, so the arithmetic (and therefore every
+// bit of the result) is independent of how the component was discovered.
+// The ForceFullSolve debug knob re-solves every component on every change
+// instead; because untouched components re-solve to bit-identical rates
+// and unchanged rates never reschedule events, both modes produce
+// bit-identical simulations (asserted by the equivalence regression
+// tests).
 package fluid
 
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/des"
 )
+
+// ForceFullSolve, when set before pools are created, disables incremental
+// component solving: every state change re-solves every component. It is a
+// debug/benchmark knob — results are bit-identical either way — and is
+// read once at NewPool; use Pool.SetForceFullSolve for per-pool control.
+var ForceFullSolve bool
 
 // Fairness selects how contended capacity is divided.
 type Fairness int
@@ -46,6 +71,14 @@ func (f Fairness) String() string {
 	}
 }
 
+// actRef is a back-reference from a resource to an active activity using
+// it; ui is the index of the corresponding usage in act.usages, so that
+// swap-removal can fix the moved entry's position in O(1).
+type actRef struct {
+	act *Activity
+	ui  int
+}
+
 // Resource is a capacity-limited entity: a node's compute capability
 // (flops/s), a link (bytes/s), or a storage target (bytes/s).
 type Resource struct {
@@ -53,11 +86,16 @@ type Resource struct {
 	capacity float64
 	id       int
 
+	// acts lists the active activities using this resource (the resource
+	// side of the component graph's adjacency).
+	acts []actRef
+
 	// solver scratch state
 	remaining float64
 	weightSum float64
 	nActive   int
 	saturated bool
+	mark      uint64 // component-traversal stamp
 }
 
 // Name returns the resource's diagnostic name.
@@ -70,6 +108,7 @@ func (r *Resource) Capacity() float64 { return r.capacity }
 type usage struct {
 	res    *Resource
 	weight float64
+	pos    int // index of this activity's entry in res.acts while active
 }
 
 // Activity is a unit of fluid work. Create with NewActivity, add usages,
@@ -80,12 +119,15 @@ type Activity struct {
 	usages     []usage
 	onComplete func()
 
-	rate    float64
-	maxRate float64 // 0 = unlimited
-	frozen  bool
-	event   *des.Event
-	pool    *Pool
-	index   int // position in pool.active, -1 when not active
+	rate     float64
+	prevRate float64 // rate before the current solve (elision check)
+	maxRate  float64 // 0 = unlimited
+	frozen   bool
+	event    *des.Event
+	pool     *Pool
+	index    int    // position in pool.active, -1 when not active
+	seq      uint64 // start order; canonical within-component solve order
+	mark     uint64 // component-traversal stamp
 }
 
 // NewActivity creates an activity with the given total work (in resource
@@ -146,19 +188,48 @@ type Pool struct {
 	active     []*Activity
 	lastUpdate des.Time
 	epsilon    float64
-	solves     uint64
+	forceFull  bool
+
+	startSeq uint64 // next Activity.seq
+	stamp    uint64 // traversal stamp generator
+
+	// comp is the scratch buffer component traversals collect into;
+	// compRes collects the component's distinct resources.
+	comp    []*Activity
+	compRes []*Resource
+
+	// Performance counters (see the accessors for meanings).
+	solves      uint64
+	solvedActs  uint64
+	reschedules uint64
+	elided      uint64
 }
 
 // NewPool creates a pool bound to the kernel.
 func NewPool(k *des.Kernel) *Pool {
-	return &Pool{kernel: k, epsilon: 1e-9}
+	return &Pool{kernel: k, epsilon: 1e-9, forceFull: ForceFullSolve}
 }
 
 // SetFairness selects the sharing policy. Call before starting activities.
 func (p *Pool) SetFairness(f Fairness) { p.fairness = f }
 
+// SetForceFullSolve toggles the full-recompute debug mode for this pool.
+// Call before starting activities.
+func (p *Pool) SetForceFullSolve(v bool) { p.forceFull = v }
+
 // Solves returns how many rate recomputations have run (for perf metrics).
 func (p *Pool) Solves() uint64 { return p.solves }
+
+// SolvedActivities returns the cumulative number of activities passed
+// through the solver — the work metric incremental solving reduces.
+func (p *Pool) SolvedActivities() uint64 { return p.solvedActs }
+
+// Reschedules returns how many completion events were (re)scheduled.
+func (p *Pool) Reschedules() uint64 { return p.reschedules }
+
+// ElidedReschedules returns how many completion-event reschedules were
+// skipped because the activity's solved rate did not change.
+func (p *Pool) ElidedReschedules() uint64 { return p.elided }
 
 // NewResource registers a resource with the pool.
 func (p *Pool) NewResource(name string, capacity float64) *Resource {
@@ -170,9 +241,9 @@ func (p *Pool) NewResource(name string, capacity float64) *Resource {
 	return r
 }
 
-// Start registers the activity and recomputes rates. Zero-work activities
-// complete at the current timestamp (via an immediate event, so that the
-// caller's stack unwinds first).
+// Start registers the activity and recomputes rates in its component.
+// Zero-work activities complete at the current timestamp (via an immediate
+// event, so that the caller's stack unwinds first).
 func (p *Pool) Start(a *Activity) {
 	if a.pool != nil {
 		panic(fmt.Sprintf("fluid: activity %s started twice", a.name))
@@ -181,10 +252,25 @@ func (p *Pool) Start(a *Activity) {
 		panic(fmt.Sprintf("fluid: activity %s has no resource usages", a.name))
 	}
 	a.pool = p
+	a.seq = p.startSeq
+	p.startSeq++
 	p.advanceProgress()
 	a.index = len(p.active)
 	p.active = append(p.active, a)
-	p.recompute()
+	for ui := range a.usages {
+		u := &a.usages[ui]
+		u.pos = len(u.res.acts)
+		u.res.acts = append(u.res.acts, actRef{act: a, ui: ui})
+	}
+	p.solves++
+	if p.forceFull {
+		p.solveAll()
+		return
+	}
+	// The new activity bridges every component it touches into one.
+	p.stamp++
+	p.collectFrom(a)
+	p.solveComponent()
 }
 
 // Cancel removes an activity without running its completion callback.
@@ -194,7 +280,34 @@ func (p *Pool) Cancel(a *Activity) {
 	}
 	p.advanceProgress()
 	p.remove(a)
-	p.recompute()
+	p.solveAfterRemoval(a)
+}
+
+// solveAfterRemoval re-solves the activities the removed activity was
+// sharing resources with. Removal can split its old component, so each of
+// its resources seeds an independent traversal (seeds reached by an
+// earlier seed's traversal are skipped): every post-removal component is
+// solved exactly once, in isolation.
+func (p *Pool) solveAfterRemoval(a *Activity) {
+	p.solves++
+	if p.forceFull {
+		p.solveAll()
+		return
+	}
+	p.stamp++
+	for ui := range a.usages {
+		res := a.usages[ui].res
+		if res.mark == p.stamp { // visited by a previous seed's traversal
+			continue
+		}
+		p.comp = p.comp[:0]
+		p.compRes = p.compRes[:0]
+		p.visitResource(res)
+		p.drainQueue()
+		if len(p.comp) > 0 {
+			p.solveComponent()
+		}
+	}
 }
 
 // RemainingOf returns the exact remaining work of an active activity at the
@@ -214,16 +327,31 @@ func (p *Pool) RemainingOf(a *Activity) float64 {
 // ActiveCount returns the number of running activities.
 func (p *Pool) ActiveCount() int { return len(p.active) }
 
-// remove unlinks the activity and cancels its completion event.
+// remove unlinks the activity from the pool and from every resource's
+// membership list, and retires its completion event.
 func (p *Pool) remove(a *Activity) {
 	last := len(p.active) - 1
 	i := a.index
 	p.active[i] = p.active[last]
 	p.active[i].index = i
+	p.active[last] = nil
 	p.active = p.active[:last]
 	a.index = -1
+	for ui := range a.usages {
+		u := &a.usages[ui]
+		acts := u.res.acts
+		end := len(acts) - 1
+		if u.pos != end {
+			moved := acts[end]
+			acts[u.pos] = moved
+			moved.act.usages[moved.ui].pos = u.pos
+		}
+		acts[end] = actRef{}
+		u.res.acts = acts[:end]
+	}
 	if a.event != nil {
 		p.kernel.Cancel(a.event)
+		p.kernel.Release(a.event)
 		a.event = nil
 	}
 }
@@ -244,18 +372,113 @@ func (p *Pool) advanceProgress() {
 	p.lastUpdate = now
 }
 
-// recompute solves for rates and reschedules completion events.
-func (p *Pool) recompute() {
-	p.solves++
+// complete finalizes an activity whose work reached zero.
+func (p *Pool) complete(a *Activity) {
+	p.kernel.Release(a.event)
+	a.event = nil
+	p.advanceProgress()
+	// Guard against float drift: force remaining to zero at completion.
+	a.remaining = 0
+	p.remove(a)
+	p.solveAfterRemoval(a)
+	if a.onComplete != nil {
+		a.onComplete()
+	}
+}
+
+// collectFrom gathers the connected component containing a into p.comp /
+// p.compRes (breadth-first over the bipartite activity–resource graph).
+// The caller must have advanced p.stamp to open a fresh visited set.
+func (p *Pool) collectFrom(a *Activity) {
+	p.comp = p.comp[:0]
+	p.compRes = p.compRes[:0]
+	a.mark = p.stamp
+	p.comp = append(p.comp, a)
+	p.drainQueue()
+}
+
+// drainQueue expands p.comp transitively: for every collected activity,
+// visit its resources; for every visited resource, collect its activities.
+func (p *Pool) drainQueue() {
+	s := p.stamp
+	for head := 0; head < len(p.comp); head++ {
+		a := p.comp[head]
+		for ui := range a.usages {
+			if res := a.usages[ui].res; res.mark != s {
+				p.visitResource(res)
+			}
+		}
+	}
+}
+
+// visitResource marks res and enqueues its unvisited activities.
+func (p *Pool) visitResource(res *Resource) {
+	s := p.stamp
+	res.mark = s
+	p.compRes = append(p.compRes, res)
+	for _, ref := range res.acts {
+		if ref.act.mark != s {
+			ref.act.mark = s
+			p.comp = append(p.comp, ref.act)
+		}
+	}
+}
+
+// solveAll re-solves every component (the ForceFullSolve path). Component
+// enumeration order is irrelevant: components are disjoint and each is
+// solved in canonical (start-order) sequence.
+func (p *Pool) solveAll() {
+	p.stamp++
+	s := p.stamp
+	for i := 0; i < len(p.active); i++ {
+		a := p.active[i]
+		if a.mark == s {
+			continue
+		}
+		p.collectFrom(a)
+		p.solveComponent()
+	}
+}
+
+// solveComponent solves rates for the activities in p.comp (one connected
+// component) and reschedules the completion events whose rates changed.
+// Activities are solved in start order, making the floating-point
+// arithmetic — and hence the solved rates — independent of the traversal
+// order that discovered the component.
+func (p *Pool) solveComponent() {
+	comp := p.comp
+	slices.SortFunc(comp, func(a, b *Activity) int {
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
+	p.solvedActs += uint64(len(comp))
+	for _, a := range comp {
+		a.prevRate = a.rate
+	}
 	switch p.fairness {
 	case MaxMin:
-		p.solveMaxMin()
+		p.solveMaxMin(comp, p.compRes)
 	case EqualSplit:
-		p.solveEqualSplit()
+		p.solveEqualSplit(comp, p.compRes)
 	}
-	// Reschedule completions.
+	p.reschedule(comp)
+}
+
+// reschedule updates completion events for the just-solved activities. An
+// activity whose rate is exactly unchanged keeps its event: the previously
+// scheduled completion time is the same closed form evaluated earlier, so
+// skipping the cancel+reschedule cannot alter the simulation (completion
+// forces remaining to zero, absorbing sub-ulp drift). This elision is what
+// lets untouched components skip event churn entirely.
+func (p *Pool) reschedule(comp []*Activity) {
 	now := p.kernel.Now()
-	for _, a := range p.active {
+	for _, a := range comp {
+		if a.event != nil && a.rate == a.prevRate {
+			p.elided++
+			continue
+		}
 		var due des.Time
 		switch {
 		case a.remaining <= 0:
@@ -267,6 +490,7 @@ func (p *Pool) recompute() {
 		}
 		if a.event != nil {
 			p.kernel.Cancel(a.event)
+			p.kernel.Release(a.event)
 			a.event = nil
 		}
 		if due < des.Infinity {
@@ -274,37 +498,24 @@ func (p *Pool) recompute() {
 			a.event = p.kernel.Schedule(due, des.PriorityActivity, func() {
 				p.complete(act)
 			})
+			p.reschedules++
 		}
 	}
 }
 
-// complete finalizes an activity whose work reached zero.
-func (p *Pool) complete(a *Activity) {
-	a.event = nil
-	p.advanceProgress()
-	// Guard against float drift: force remaining to zero at completion.
-	a.remaining = 0
-	p.remove(a)
-	p.recompute()
-	if a.onComplete != nil {
-		a.onComplete()
-	}
-}
-
-// solveMaxMin assigns progressive-filling max–min fair rates.
-func (p *Pool) solveMaxMin() {
-	if len(p.active) == 0 {
+// solveMaxMin assigns progressive-filling max–min fair rates within one
+// component.
+func (p *Pool) solveMaxMin(comp []*Activity, touched []*Resource) {
+	if len(comp) == 0 {
 		return
 	}
-	// Reset scratch state on the resources actually in use.
-	touched := touchedResources(p.active)
 	for _, r := range touched {
 		r.remaining = r.capacity
 		r.weightSum = 0
 		r.saturated = false
 	}
 	unfrozen := 0
-	for _, a := range p.active {
+	for _, a := range comp {
 		a.rate = 0
 		a.frozen = false
 		unfrozen++
@@ -324,7 +535,7 @@ func (p *Pool) solveMaxMin() {
 				delta = d
 			}
 		}
-		for _, a := range p.active {
+		for _, a := range comp {
 			if a.frozen || a.maxRate <= 0 {
 				continue
 			}
@@ -338,7 +549,7 @@ func (p *Pool) solveMaxMin() {
 			break
 		}
 		// Apply the increment.
-		for _, a := range p.active {
+		for _, a := range comp {
 			if a.frozen {
 				continue
 			}
@@ -356,7 +567,7 @@ func (p *Pool) solveMaxMin() {
 		}
 		// Freeze activities that touch a saturated resource or hit their
 		// rate cap; either way their consumption stops growing.
-		for _, a := range p.active {
+		for _, a := range comp {
 			if a.frozen {
 				continue
 			}
@@ -379,24 +590,24 @@ func (p *Pool) solveMaxMin() {
 			}
 		}
 	}
-	// Convert the uniform fill level into per-activity progress rates:
-	// the fill is already the progress rate (weights scale consumption,
-	// not progress).
+	// The uniform fill level IS the progress rate (weights scale
+	// consumption, not progress).
 }
 
 // solveEqualSplit divides each resource evenly among its users; an
-// activity's rate is its most restrictive per-resource share.
-func (p *Pool) solveEqualSplit() {
-	touched := touchedResources(p.active)
+// activity's rate is its most restrictive per-resource share. Every user
+// of a touched resource is in the component by construction, so the
+// per-resource counts are globally correct.
+func (p *Pool) solveEqualSplit(comp []*Activity, touched []*Resource) {
 	for _, r := range touched {
 		r.nActive = 0
 	}
-	for _, a := range p.active {
+	for _, a := range comp {
 		for _, u := range a.usages {
 			u.res.nActive++
 		}
 	}
-	for _, a := range p.active {
+	for _, a := range comp {
 		rate := math.Inf(1)
 		for _, u := range a.usages {
 			share := u.res.capacity / float64(u.res.nActive) / u.weight
@@ -409,20 +620,4 @@ func (p *Pool) solveEqualSplit() {
 		}
 		a.rate = rate
 	}
-}
-
-// touchedResources returns the distinct resources used by the activities,
-// in deterministic (id) order of first appearance.
-func touchedResources(activities []*Activity) []*Resource {
-	seen := map[int]bool{}
-	var out []*Resource
-	for _, a := range activities {
-		for _, u := range a.usages {
-			if !seen[u.res.id] {
-				seen[u.res.id] = true
-				out = append(out, u.res)
-			}
-		}
-	}
-	return out
 }

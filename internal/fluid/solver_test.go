@@ -420,7 +420,7 @@ func BenchmarkSolverRecompute(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.recompute()
+		p.solveAll()
 	}
 }
 
