@@ -7,6 +7,12 @@
 //	          [-interval 0] [-jobs-csv jobs.csv] [-util-csv util.csv]
 //	          [-gantt gantt.json] [-trace] [-v]
 //
+// Observability flags: -trace-out streams a Chrome trace_event JSON file
+// (load it in Perfetto or chrome://tracing), -trace-jsonl a line-delimited
+// variant, -audit-out the scheduler decision audit, -telemetry-out the
+// self-profiling snapshot; -progress prints a live stderr ticker, and
+// -cpuprofile/-memprofile write pprof profiles.
+//
 // The platform and workload JSON formats are documented in the README;
 // `elastisim -print-formats` prints commented examples.
 package main
@@ -16,10 +22,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/elastisim"
 	"repro/internal/extsched"
+	"repro/internal/telemetry"
 	"repro/internal/unit"
 )
 
@@ -44,6 +53,13 @@ func main() {
 		swfOut       = flag.String("swf-out", "", "export per-job results as an SWF trace to this path")
 		swfOutCores  = flag.Int("swf-out-cores", 1, "cores per node for -swf-out processor counts")
 		trace        = flag.Bool("trace", false, "print the engine event log")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace_event JSON span trace to this path")
+		traceJSONL   = flag.String("trace-jsonl", "", "write a JSONL span trace to this path")
+		auditOut     = flag.String("audit-out", "", "write the scheduler decision audit (JSONL) to this path")
+		telemetryOut = flag.String("telemetry-out", "", "write the self-profiling snapshot JSON to this path")
+		progress     = flag.Bool("progress", false, "print a live progress ticker to stderr")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile to this path")
 		verbose      = flag.Bool("v", false, "print per-job results")
 		printFormats = flag.Bool("print-formats", false, "print example platform and workload files and exit")
 	)
@@ -91,18 +107,58 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := elastisim.Options{
+		InvocationInterval: *interval,
+		DisableEventDriven: *periodicOnly,
+		Trace:              *trace,
+	}
+	tracer, closeTel, err := setupTelemetry(*traceOut, *traceJSONL, *auditOut)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Telemetry = tracer
+	if *progress {
+		opts.Progress = &telemetry.RunProgress{W: os.Stderr, Label: "sim"}
+	}
 	res, err := elastisim.Run(elastisim.Config{
 		Platform:  spec,
 		Workload:  wl,
 		Algorithm: algo,
-		Options: elastisim.Options{
-			InvocationInterval: *interval,
-			DisableEventDriven: *periodicOnly,
-			Trace:              *trace,
-		},
+		Options:   opts,
 	})
+	if cerr := closeTel(); err == nil && cerr != nil {
+		err = cerr
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if *telemetryOut != "" {
+		if err := writeFile(*telemetryOut, res.Telemetry.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 	if extProc != nil {
 		if cerr := extProc.Close(); cerr != nil {
@@ -188,6 +244,67 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// setupTelemetry builds a tracer streaming to the requested artifact files.
+// With all paths empty it returns a nil tracer (telemetry fully disabled)
+// and a no-op closer.
+func setupTelemetry(chromePath, jsonlPath, auditPath string) (*elastisim.Tracer, func() error, error) {
+	if chromePath == "" && jsonlPath == "" && auditPath == "" {
+		return nil, func() error { return nil }, nil
+	}
+	var sinks []elastisim.TelemetrySink
+	var files []*os.File
+	open := func(path string) (*os.File, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			for _, g := range files {
+				g.Close()
+			}
+			return nil, err
+		}
+		files = append(files, f)
+		return f, nil
+	}
+	if chromePath != "" {
+		f, err := open(chromePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		sinks = append(sinks, elastisim.NewChromeTraceSink(f))
+	}
+	if jsonlPath != "" {
+		f, err := open(jsonlPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		sinks = append(sinks, elastisim.NewJSONLTraceSink(f))
+	}
+	tracer := elastisim.NewTracer(sinks...)
+	var audit *elastisim.AuditLog
+	if auditPath != "" {
+		f, err := open(auditPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		audit = elastisim.NewAuditLog(f)
+		tracer.SetAudit(audit)
+	}
+	closer := func() error {
+		err := tracer.Close()
+		if audit != nil {
+			if cerr := audit.Close(); err == nil {
+				err = cerr
+			}
+		}
+		for _, f := range files {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+	return tracer, closer, nil
 }
 
 func writeFile(path string, write func(io.Writer) error) error {

@@ -8,6 +8,12 @@
 //	expreport -only E2,E3    # a subset
 //	expreport -markdown      # markdown output
 //	expreport -jobs 150      # workload size for the batch experiments
+//
+// It also diffs self-profiling snapshots written by `elastisim
+// -telemetry-out` or `sweep -telemetry-out`, for before/after comparisons
+// of simulator-performance work:
+//
+//	expreport -snapshot-diff before.json,after.json
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,8 +32,17 @@ func main() {
 		jobs     = flag.Int("jobs", 150, "job count for the batch experiments")
 		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
 		markdown = flag.Bool("markdown", false, "emit markdown instead of plain tables")
+		snapDiff = flag.String("snapshot-diff", "", "diff two telemetry snapshot JSON files: before.json,after.json")
 	)
 	flag.Parse()
+
+	if *snapDiff != "" {
+		if err := diffSnapshots(*snapDiff, *markdown); err != nil {
+			fmt.Fprintln(os.Stderr, "expreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	selected := map[string]bool{}
 	if *only != "" {
@@ -109,4 +125,47 @@ func main() {
 		t, err := experiments.AblationFastPath(*seed)
 		emit(t, err)
 	}
+}
+
+// diffSnapshots prints a before/after table of two telemetry snapshot
+// files (comma-separated paths) written with -telemetry-out.
+func diffSnapshots(spec string, markdown bool) error {
+	paths := strings.Split(spec, ",")
+	if len(paths) != 2 {
+		return fmt.Errorf("-snapshot-diff wants two paths: before.json,after.json")
+	}
+	read := func(path string) (telemetry.Snapshot, error) {
+		f, err := os.Open(strings.TrimSpace(path))
+		if err != nil {
+			return telemetry.Snapshot{}, err
+		}
+		defer f.Close()
+		return telemetry.ReadSnapshot(f)
+	}
+	a, err := read(paths[0])
+	if err != nil {
+		return err
+	}
+	b, err := read(paths[1])
+	if err != nil {
+		return err
+	}
+	t := &experiments.Table{
+		ID:     "SNAP",
+		Title:  "Telemetry snapshot diff",
+		Header: []string{"counter", "before", "after", "change"},
+	}
+	for _, row := range telemetry.Diff(a, b) {
+		t.AddRow(row.Name,
+			fmt.Sprintf("%g", row.A),
+			fmt.Sprintf("%g", row.B),
+			fmt.Sprintf("%+.1f%%", row.Change*100))
+	}
+	t.AddNote("wall.* and mem.* rows are machine-dependent; counters above them are deterministic")
+	if markdown {
+		fmt.Print(t.Markdown())
+	} else {
+		t.Fprint(os.Stdout)
+	}
+	return nil
 }

@@ -15,22 +15,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		algorithms = flag.String("algorithms", "fcfs,easy,adaptive", "comma-separated algorithm names")
-		shares     = flag.String("shares", "0,0.5,1", "comma-separated malleable shares in [0,1]")
-		seeds      = flag.String("seeds", "1", "comma-separated workload seeds")
-		jobs       = flag.Int("jobs", 100, "jobs per run")
-		nodes      = flag.Int("nodes", 128, "machine size")
-		workers    = flag.Int("workers", 0, "concurrent grid cells (0 = one per CPU, 1 = sequential)")
+		algorithms   = flag.String("algorithms", "fcfs,easy,adaptive", "comma-separated algorithm names")
+		shares       = flag.String("shares", "0,0.5,1", "comma-separated malleable shares in [0,1]")
+		seeds        = flag.String("seeds", "1", "comma-separated workload seeds")
+		jobs         = flag.Int("jobs", 100, "jobs per run")
+		nodes        = flag.Int("nodes", 128, "machine size")
+		workers      = flag.Int("workers", 0, "concurrent grid cells (0 = one per CPU, 1 = sequential)")
+		progress     = flag.Bool("progress", false, "print per-cell progress to stderr")
+		telemetryOut = flag.String("telemetry-out", "", "write the aggregated self-profiling snapshot JSON to this path")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := experiments.SweepConfig{Jobs: *jobs, Nodes: *nodes, Workers: *workers}
 	cfg.Algorithms = strings.Split(*algorithms, ",")
@@ -49,12 +66,35 @@ func main() {
 		cfg.Seeds = append(cfg.Seeds, v)
 	}
 
+	var prog *telemetry.CellProgress
+	if *progress {
+		cells := len(cfg.Algorithms) * len(cfg.Shares) * len(cfg.Seeds)
+		prog = &telemetry.CellProgress{W: os.Stderr, Total: cells}
+		cfg.OnCellDone = prog.CellDone
+	}
 	pts, err := experiments.Sweep(cfg)
+	if prog != nil {
+		prog.Done()
+	}
 	if err != nil {
 		fatal(err)
 	}
 	if err := experiments.WriteSweepCSV(os.Stdout, pts); err != nil {
 		fatal(err)
+	}
+	if *telemetryOut != "" {
+		agg := experiments.AggregateSnapshots(pts)
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := agg.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d cells\n", len(pts))
 }

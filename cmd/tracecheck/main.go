@@ -1,0 +1,57 @@
+// Command tracecheck validates a Chrome trace_event JSON file written by
+// `elastisim -trace-out`: it must parse, every event needs a name, a known
+// phase, and a track, timestamps must be non-decreasing per track, and
+// every B (span begin) needs a matching E. It prints per-track span counts
+// and exits non-zero on any violation, so CI can gate on trace validity.
+//
+// Usage:
+//
+//	tracecheck trace.json
+//	tracecheck -q trace.json   # errors only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the per-track summary, report errors only")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-q] trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := telemetry.ValidateChromeTrace(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	open := 0
+	for _, k := range stats.SortedTrackKeys() {
+		b := stats.Tracks[k]
+		open += b.OpenSpans
+		if !*quiet {
+			fmt.Printf("pid %d tid %-5d  %6d events  %5d spans  [%.3f, %.3f] µs\n",
+				k.Pid, k.Tid, b.Events, b.Spans, b.FirstTS, b.LastTS)
+		}
+	}
+	if open > 0 {
+		fatal(fmt.Errorf("%s: %d span(s) left open (B without E)", path, open))
+	}
+	if !*quiet {
+		fmt.Printf("ok: %d events on %d tracks\n", stats.Events, len(stats.Tracks))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

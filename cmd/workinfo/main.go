@@ -1,10 +1,14 @@
 // Command workinfo summarizes a workload file: job counts by type and
 // user, allocation histogram, arrival intensity, and adaptivity features.
+// With -trace it instead summarizes a JSONL span trace written by
+// `elastisim -trace-jsonl`: per-job wait/run/reconfigure time and task,
+// scheduling-point, and checkpoint counts.
 //
 // Usage:
 //
 //	workinfo -workload jobs.json [-machine-nodes 1024]
 //	workinfo -swf trace.swf -swf-node-speed 100e9
+//	workinfo -trace run.jsonl
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"os"
 
 	"repro/elastisim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -22,8 +27,16 @@ func main() {
 		swfSpeed     = flag.Float64("swf-node-speed", 100e9, "node speed for SWF calibration")
 		swfCores     = flag.Int("swf-cores-per-node", 1, "cores per node for SWF")
 		nodes        = flag.Int("machine-nodes", 1<<20, "machine size used for validation")
+		tracePath    = flag.String("trace", "", "JSONL span trace (from elastisim -trace-jsonl) to summarize per job")
 	)
 	flag.Parse()
+	if *tracePath != "" {
+		if err := summarizeTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "workinfo:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *workloadPath == "" && *swfPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -46,4 +59,35 @@ func main() {
 	}
 	stats := wl.Stats()
 	stats.Fprint(os.Stdout, wl.Name)
+}
+
+// summarizeTrace prints per-job wait/run/reconfigure totals from a JSONL
+// span trace.
+func summarizeTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	sums := telemetry.SummarizeJobSpans(events)
+	if len(sums) == 0 {
+		return fmt.Errorf("%s: no job tracks found", path)
+	}
+	fmt.Printf("%-6s %12s %12s %12s %7s %7s %7s %7s\n",
+		"job", "wait[s]", "run[s]", "reconf[s]", "tasks", "sched", "reconf", "ckpt")
+	var totalWait, totalRun, totalReconf float64
+	for _, s := range sums {
+		fmt.Printf("%-6d %12.1f %12.1f %12.1f %7d %7d %7d %7d\n",
+			s.Job, s.Wait, s.Run, s.Reconfigure, s.Tasks, s.SchedPoints, s.Reconfigs, s.Checkpoints)
+		totalWait += s.Wait
+		totalRun += s.Run
+		totalReconf += s.Reconfigure
+	}
+	fmt.Printf("%-6s %12.1f %12.1f %12.1f   (%d jobs)\n",
+		"total", totalWait, totalRun, totalReconf, len(sums))
+	return nil
 }

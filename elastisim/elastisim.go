@@ -38,6 +38,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/viz"
 )
 
@@ -104,7 +105,40 @@ type (
 	Timeline = metrics.Timeline
 	// TraceEvent is one entry of the engine's optional event log.
 	TraceEvent = core.TraceEvent
+
+	// Tracer is the telemetry fan-out; attach one via Options.Telemetry to
+	// stream span traces to sinks. A nil Tracer (the default) disables
+	// telemetry at zero cost.
+	Tracer = telemetry.Tracer
+	// TelemetrySink consumes telemetry events (see NewChromeTraceSink and
+	// NewJSONLTraceSink).
+	TelemetrySink = telemetry.Sink
+	// TelemetrySnapshot is the self-profiling artifact of a run: DES kernel,
+	// fluid solver, and scheduler counters plus wall-clock/heap data.
+	TelemetrySnapshot = telemetry.Snapshot
+	// AuditLog records every scheduler invocation with its decisions and
+	// grant/deny reasons; attach via Tracer.SetAudit.
+	AuditLog = telemetry.AuditLog
+	// RunProgress is the opt-in live progress ticker (Options.Progress).
+	RunProgress = telemetry.RunProgress
 )
+
+// NoJob marks machine-level trace events (node down/up), which carry the
+// affected node in TraceEvent.Node instead of a job id.
+const NoJob = core.NoJob
+
+// NewTracer builds a telemetry tracer emitting to the given sinks.
+func NewTracer(sinks ...TelemetrySink) *Tracer { return telemetry.New(sinks...) }
+
+// NewChromeTraceSink streams Chrome trace_event JSON (Perfetto-loadable)
+// to w. Close the tracer to terminate the JSON document.
+func NewChromeTraceSink(w io.Writer) TelemetrySink { return telemetry.NewChromeSink(w) }
+
+// NewJSONLTraceSink streams line-delimited JSON telemetry events to w.
+func NewJSONLTraceSink(w io.Writer) TelemetrySink { return telemetry.NewJSONLSink(w) }
+
+// NewAuditLog streams scheduler decision audit records as JSON lines to w.
+func NewAuditLog(w io.Writer) *AuditLog { return telemetry.NewAuditLog(w) }
 
 // Job type classes, re-exported.
 const (
@@ -174,6 +208,10 @@ type Result struct {
 	Warnings []string
 	// Trace is the event log (when Options.Trace was set).
 	Trace []TraceEvent
+	// Telemetry is the run's self-profiling snapshot: kernel, solver, and
+	// scheduler counters (always deterministic) plus wall-clock and heap
+	// measurements (machine-dependent; see TelemetrySnapshot.StripWall).
+	Telemetry TelemetrySnapshot
 	// WallClock is the host time the simulation took.
 	WallClock time.Duration
 }
@@ -210,15 +248,19 @@ func Run(cfg Config) (*Result, error) {
 		SolvedActivities: eng.SolvedActivities(),
 		Warnings:         eng.Warnings(),
 		Trace:            eng.Trace(),
+		Telemetry:        eng.TelemetrySnapshot(),
 		WallClock:        time.Since(begin),
 	}, nil
 }
 
 // WriteGanttSVG renders the run's allocation segments as an SVG Gantt
-// chart (one colored band per job, reconfigurations visible as width
-// changes).
+// chart: one colored band per job, reconfigurations marked at segment
+// boundaries, and node failure/repair intervals overlaid as hatched bands.
 func (r *Result) WriteGanttSVG(w io.Writer, title string) error {
-	return viz.Gantt(w, r.Recorder.Gantt(), r.Recorder.TotalNodes(), viz.Options{Title: title})
+	return viz.Gantt(w, r.Recorder.Gantt(), r.Recorder.TotalNodes(), viz.Options{
+		Title:   title,
+		Outages: r.Recorder.Outages(),
+	})
 }
 
 // WriteUtilizationSVG renders the busy-nodes timeline as an SVG step plot.

@@ -18,6 +18,13 @@ import (
 // modes fails the comparison.
 func equivalenceRun(t *testing.T, forceFull bool) (*Result, string, []byte) {
 	t.Helper()
+	return equivalenceRunOpts(t, Options{Trace: true, ForceFullSolve: forceFull})
+}
+
+// equivalenceRunOpts is equivalenceRun with caller-chosen engine options
+// (the telemetry tests attach sinks to the same scenario).
+func equivalenceRunOpts(t *testing.T, opts Options) (*Result, string, []byte) {
+	t.Helper()
 	wl, err := GenerateWorkload(WorkloadConfig{
 		Seed: 11, Count: 60,
 		Arrival:            job.Arrival{Kind: job.ArrivalPoisson, Rate: 0.05},
@@ -38,7 +45,7 @@ func equivalenceRun(t *testing.T, forceFull bool) (*Result, string, []byte) {
 			Model: FailureExponential, Seed: 5,
 			MTBF: 20000, MTTR: 300,
 		},
-		Options: Options{Trace: true, ForceFullSolve: forceFull},
+		Options: opts,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -48,7 +55,11 @@ func equivalenceRun(t *testing.T, forceFull bool) (*Result, string, []byte) {
 	}
 	var trace strings.Builder
 	for _, ev := range res.Trace {
-		fmt.Fprintf(&trace, "%b %s job%d %s\n", ev.T, ev.Kind, ev.Job, ev.Detail)
+		subject := fmt.Sprintf("job%d", ev.Job)
+		if ev.Job == NoJob {
+			subject = fmt.Sprintf("node%d", ev.Node)
+		}
+		fmt.Fprintf(&trace, "%b %s %s %s\n", ev.T, ev.Kind, subject, ev.Detail)
 	}
 	var csv bytes.Buffer
 	if err := res.Recorder.WriteJobsCSV(&csv); err != nil {

@@ -2,9 +2,14 @@
 // one rigid and one malleable job, and print what happened.
 //
 // Run with: go run ./examples/quickstart
+//
+// Pass -trace-out quickstart.json to also write a Chrome trace_event span
+// trace of the run; load it in Perfetto (ui.perfetto.dev) or
+// chrome://tracing to see per-job and per-node timelines.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -14,6 +19,8 @@ import (
 )
 
 func main() {
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON span trace to this path")
+	flag.Parse()
 	// A 16-node cluster: 100 Gflop/s nodes, 10 GB/s links, 40 GB/s PFS.
 	platform := elastisim.HomogeneousPlatform("demo", 16, 100e9, 10e9, 40e9, 40e9)
 
@@ -59,14 +66,36 @@ func main() {
 	workload := &elastisim.Workload{Name: "quickstart", Jobs: []*elastisim.Job{solver, batch}}
 	workload.Sort()
 
+	opts := elastisim.Options{Trace: true}
+	var traceFile *os.File
+	var tracer *elastisim.Tracer
+	if *traceOut != "" {
+		var err error
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tracer = elastisim.NewTracer(elastisim.NewChromeTraceSink(traceFile))
+		opts.Telemetry = tracer
+	}
+
 	result, err := elastisim.Run(elastisim.Config{
 		Platform:  platform,
 		Workload:  workload,
 		Algorithm: elastisim.NewAdaptive(),
-		Options:   elastisim.Options{Trace: true},
+		Options:   opts,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 
 	fmt.Printf("makespan     %.1f s\n", result.Summary.Makespan)

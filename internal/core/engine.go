@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/des"
 	"repro/internal/failure"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // PriorityResume orders job-resume events after scheduler invocations at
@@ -66,6 +68,14 @@ type Options struct {
 	// precedence over the platform spec's "failures" object, letting one
 	// platform file drive both clean and degraded runs.
 	Failures *failure.Spec
+	// Telemetry attaches the observability layer (nil = disabled, the
+	// zero-overhead default). Spans for jobs, nodes, and the scheduler
+	// stream to the tracer's sinks; an attached audit log records every
+	// scheduler invocation. Telemetry never alters simulation outputs.
+	Telemetry *telemetry.Tracer
+	// Progress attaches a live stderr ticker driven from the kernel's
+	// event loop (nil = disabled).
+	Progress *telemetry.RunProgress
 }
 
 // Engine is a single-run batch-system simulator. Create with New, run with
@@ -100,6 +110,10 @@ type Engine struct {
 	pendingReasons      sched.Reason
 	invocations         uint64
 	decisionsApplied    uint64
+	decisionsRejected   uint64
+	decisionsByKind     [5]uint64 // applied decisions, indexed by sched.DecisionKind
+	wallRun             time.Duration
+	wallSched           time.Duration
 	warnings            []string
 	trace               []TraceEvent
 	outstanding         int // jobs not yet finished
@@ -203,7 +217,16 @@ func (e *Engine) Run() (*metrics.Recorder, error) {
 	if e.opts.Horizon > 0 {
 		e.kernel.SetHorizon(des.Time(e.opts.Horizon))
 	}
-	if err := e.kernel.Run(); err != nil && err != des.ErrHalted {
+	if p := e.opts.Progress; p != nil {
+		e.kernel.SetProgress(telemetry.EveryEvents, func() {
+			p.Tick(e.Now(), e.kernel.Steps())
+		})
+		defer p.Done()
+	}
+	t0 := time.Now()
+	err := e.kernel.Run()
+	e.wallRun = time.Since(t0)
+	if err != nil && err != des.ErrHalted {
 		return nil, err
 	}
 	if e.outstanding > 0 && e.opts.Horizon == 0 {
@@ -317,18 +340,61 @@ func (e *Engine) requestInvocation(reason sched.Reason) {
 }
 
 // invoke snapshots the state, runs the algorithm, applies its decisions.
+// With telemetry attached it additionally emits scheduler-track events and
+// an audit record: everything the scheduler saw, everything it decided,
+// and why rejected decisions were rejected.
 func (e *Engine) invoke() {
 	reasons := e.pendingReasons
 	e.pendingReasons = 0
 	inv := e.snapshot(reasons)
 	e.invocations++
+	t0 := time.Now()
 	decisions := e.algo.Schedule(inv)
+	e.wallSched += time.Since(t0)
+
+	tel := e.opts.Telemetry
+	var audit *telemetry.AuditRecord
+	if tel.Enabled() {
+		tel.Counter(telemetry.SchedulerTrack, "queue_depth", inv.Now, float64(len(inv.Pending)))
+		tel.Counter(telemetry.SchedulerTrack, "free_nodes", inv.Now, float64(inv.FreeNodes))
+		tel.Instant(telemetry.SchedulerTrack, "invoke", inv.Now,
+			telemetry.Arg{Key: "reasons", Value: reasons.String()},
+			telemetry.Arg{Key: "decisions", Value: len(decisions)})
+		if tel.Audit() != nil {
+			audit = &telemetry.AuditRecord{
+				T:          inv.Now,
+				Invocation: e.invocations,
+				Reasons:    reasons.String(),
+				QueueDepth: len(inv.Pending),
+				Running:    len(inv.Running),
+				FreeNodes:  inv.FreeNodes,
+				DownNodes:  len(inv.DownNodes),
+			}
+		}
+	}
 	for _, d := range decisions {
-		if err := e.apply(d); err != nil {
+		err := e.apply(d)
+		if audit != nil {
+			ad := telemetry.AuditDecision{
+				Kind: d.Kind.String(), Job: int(d.Job), NumNodes: d.NumNodes, Applied: err == nil,
+			}
+			if err != nil {
+				ad.Reason = err.Error()
+			}
+			audit.Decisions = append(audit.Decisions, ad)
+		}
+		if err != nil {
 			e.warnf("rejected %v: %v", d, err)
+			e.decisionsRejected++
 			continue
 		}
 		e.decisionsApplied++
+		if k := int(d.Kind); k >= 0 && k < len(e.decisionsByKind) {
+			e.decisionsByKind[k]++
+		}
+	}
+	if audit != nil {
+		tel.Audit().Record(*audit)
 	}
 }
 

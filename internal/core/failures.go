@@ -43,8 +43,8 @@ func (e *Engine) nodeFail(node int, up float64) {
 	}
 	e.nodeDown[node] = true
 	e.downCount++
-	e.rec.NodeDown(now)
-	e.traceEvent(EvNodeDown, -1, fmt.Sprintf("node=%d", node))
+	e.rec.NodeDown(node, now)
+	e.traceNodeEvent(EvNodeDown, node, "")
 	e.requestInvocation(sched.ReasonNodeDown)
 	e.kernel.Schedule(des.Time(up), des.PriorityEngine, func() {
 		e.nodeRepair(node)
@@ -61,8 +61,8 @@ func (e *Engine) nodeRepair(node int) {
 	}
 	e.nodeDown[node] = false
 	e.downCount--
-	e.rec.NodeUp(now)
-	e.traceEvent(EvNodeUp, -1, fmt.Sprintf("node=%d", node))
+	e.rec.NodeUp(node, now)
+	e.traceNodeEvent(EvNodeUp, node, "")
 	e.requestInvocation(sched.ReasonNodeUp)
 	if e.outstanding > 0 {
 		e.scheduleOutage(node, now)
@@ -116,6 +116,7 @@ func (e *Engine) shrinkThroughFailure(jr *jobRun, id platform.NodeID) {
 	if err := e.alloc.Release(ownerKey(jr.job.ID), []platform.NodeID{id}); err != nil {
 		panic(fmt.Sprintf("core: releasing failed node %d of %s: %v", int(id), jr.job.Label(), err))
 	}
+	e.telNodesReleased(jr, []platform.NodeID{id})
 	e.rec.AddGantt(jr.job.ID, jr.job.Label(), oldSize, jr.segStart, now)
 	jr.segStart = now
 	e.rec.JobReconfigured(jr.job.ID, now, len(jr.nodes))
@@ -148,6 +149,7 @@ func (e *Engine) killByNodeFailure(jr *jobRun, requeue bool) {
 	if n := e.alloc.ReleaseAll(ownerKey(jr.job.ID)); n != len(jr.nodes) {
 		panic(fmt.Sprintf("core: job %s released %d nodes, held %d", jr.job.Label(), n, len(jr.nodes)))
 	}
+	e.telNodesReleased(jr, jr.nodes)
 	jr.nodes = nil
 	e.removeRunning(jr)
 	e.rec.JobFailed(jr.job.ID, now, lost)

@@ -90,6 +90,11 @@ type jobRun struct {
 	iterStart float64
 	requeues  int
 
+	// Telemetry span bookkeeping: whether a task/reconfigure span is open
+	// on the job's track (so kills and failures can close them cleanly).
+	telTaskOpen   bool
+	telReconfOpen bool
+
 	argsEnv expr.Vars // job args, fixed
 }
 
@@ -134,6 +139,7 @@ func (e *Engine) start(jr *jobRun, nodes []platform.NodeID) {
 		detail += fmt.Sprintf(" restart=%d ckpt=%d/%d", jr.requeues, jr.ckptPhase, jr.ckptIter)
 	}
 	e.traceEvent(EvStart, jr.job.ID, detail)
+	e.telNodesAllocated(jr, jr.nodes)
 	if jr.job.WallTimeLimit > 0 {
 		jr.killEvent = e.kernel.Schedule(des.Time(now+jr.job.WallTimeLimit), des.PriorityEngine, func() {
 			e.kill(jr, metrics.StatusKilledWalltime)
@@ -159,7 +165,7 @@ func (e *Engine) startTask(jr *jobRun) {
 		magnitude = 0
 	}
 	done := func() { e.taskDone(jr) }
-	if e.opts.Trace && e.opts.TraceTasks {
+	if e.opts.TraceTasks && (e.opts.Trace || e.opts.Telemetry.Enabled()) {
 		began := e.Now()
 		detail := fmt.Sprintf("phase=%d iter=%d task=%d kind=%s", jr.phaseIdx, jr.iter, jr.taskIdx, t.Kind)
 		e.traceEvent(EvTaskStart, jr.job.ID, detail)
@@ -544,6 +550,7 @@ func (e *Engine) adjustAllocation(jr *jobRun, target int) {
 			panic(fmt.Sprintf("core: validated expand of %s failed: %v", jr.job.Label(), err))
 		}
 		jr.nodes = append(jr.nodes, added...)
+		e.telNodesAllocated(jr, added)
 	} else {
 		// Release the highest-numbered nodes.
 		platform.SortNodeIDs(jr.nodes)
@@ -552,6 +559,7 @@ func (e *Engine) adjustAllocation(jr *jobRun, target int) {
 		if err := e.alloc.Release(owner, released); err != nil {
 			panic(fmt.Sprintf("core: inconsistent allocation for %s: %v", jr.job.Label(), err))
 		}
+		e.telNodesReleased(jr, released)
 	}
 	e.rec.AddGantt(jr.job.ID, jr.job.Label(), cur, jr.segStart, now)
 	jr.segStart = now
@@ -577,11 +585,13 @@ func (e *Engine) chargeReconfiguration(jr *jobRun, oldSize int) {
 	}
 	if cost > 0 {
 		jr.state = stateReconfiguring
+		e.telBeginReconfig(jr, oldSize)
 		jr.timer = e.kernel.ScheduleAfter(des.Time(cost), des.PriorityEngine, func() {
 			jr.timer = nil
 			if jr.state != stateReconfiguring {
 				return
 			}
+			e.telEndReconfig(jr)
 			jr.state = stateRunning
 			e.startTask(jr)
 		})
@@ -600,6 +610,7 @@ func (e *Engine) finish(jr *jobRun, status metrics.JobStatus) {
 	if n := e.alloc.ReleaseAll(ownerKey(jr.job.ID)); n != len(jr.nodes) {
 		panic(fmt.Sprintf("core: job %s released %d nodes, held %d", jr.job.Label(), n, len(jr.nodes)))
 	}
+	e.telNodesReleased(jr, jr.nodes)
 	jr.nodes = nil
 	e.removeRunning(jr)
 	e.rec.JobFinished(jr.job.ID, now, status)
@@ -618,8 +629,10 @@ func (e *Engine) kill(jr *jobRun, status metrics.JobStatus) {
 }
 
 // cancelTask tears down the in-flight activity or timer, leaving the
-// walltime kill event armed.
+// walltime kill event armed. An open telemetry task span ends here: the
+// task stops at this instant.
 func (e *Engine) cancelTask(jr *jobRun) {
+	e.telCloseTask(jr)
 	if jr.activity != nil {
 		e.pool.Cancel(jr.activity)
 		jr.activity = nil

@@ -83,14 +83,23 @@ const compactMinQueue = 64
 // Kernel is a discrete-event simulation driver. The zero value is not
 // usable; create kernels with NewKernel.
 type Kernel struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	halted  bool
-	steps   uint64
-	maxTime Time
-	tombs   int      // dead events still sitting in the queue
-	free    []*Event // released events ready for reuse by Schedule
+	now       Time
+	queue     eventHeap
+	seq       uint64
+	halted    bool
+	steps     uint64
+	maxTime   Time
+	tombs     int      // dead events still sitting in the queue
+	free      []*Event // released events ready for reuse by Schedule
+	cancelled uint64
+	recycled  uint64
+	peakQueue int
+
+	// Optional progress hook: onProgress runs every progressEvery fired
+	// events. Zero progressEvery disables the check's body; the hot loop
+	// pays one integer compare either way.
+	progressEvery uint64
+	onProgress    func()
 }
 
 // NewKernel returns an empty kernel with the clock at zero.
@@ -108,6 +117,38 @@ func (k *Kernel) Steps() uint64 { return k.steps }
 // Pending returns the number of live (non-cancelled) events queued.
 func (k *Kernel) Pending() int { return k.queue.Len() - k.tombs }
 
+// KernelStats are the kernel's lifetime counters, for self-profiling.
+type KernelStats struct {
+	Scheduled uint64 // events ever enqueued (including recycled allocations)
+	Fired     uint64 // events popped and executed
+	Cancelled uint64 // events tombstoned before firing
+	Recycled  uint64 // Schedule calls served from the free list
+	PeakQueue int    // high-water mark of the queue, tombstones included
+	Pending   int    // live events still queued at sample time
+}
+
+// Stats samples the kernel's counters.
+func (k *Kernel) Stats() KernelStats {
+	return KernelStats{
+		Scheduled: k.seq,
+		Fired:     k.steps,
+		Cancelled: k.cancelled,
+		Recycled:  k.recycled,
+		PeakQueue: k.peakQueue,
+		Pending:   k.Pending(),
+	}
+}
+
+// SetProgress installs a callback invoked after every n fired events.
+// n = 0 (or a nil fn) removes the hook.
+func (k *Kernel) SetProgress(n uint64, fn func()) {
+	if n == 0 || fn == nil {
+		k.progressEvery, k.onProgress = 0, nil
+		return
+	}
+	k.progressEvery, k.onProgress = n, fn
+}
+
 // Schedule enqueues fn to run at absolute time t with the given priority.
 // Scheduling in the past panics: it always indicates a simulation bug.
 func (k *Kernel) Schedule(t Time, p Priority, fn Handler) *Event {
@@ -123,11 +164,15 @@ func (k *Kernel) Schedule(t Time, p Priority, fn Handler) *Event {
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
 		*ev = Event{time: t, priority: p, seq: k.seq, fn: fn}
+		k.recycled++
 	} else {
 		ev = &Event{time: t, priority: p, seq: k.seq, fn: fn}
 	}
 	k.seq++
 	k.queue.Push(ev)
+	if n := k.queue.Len(); n > k.peakQueue {
+		k.peakQueue = n
+	}
 	return ev
 }
 
@@ -147,6 +192,7 @@ func (k *Kernel) Cancel(ev *Event) {
 	}
 	ev.dead = true
 	k.tombs++
+	k.cancelled++
 	// Keep the queue at least half live so skimming stays amortised O(1)
 	// and memory is bounded by twice the live event count.
 	if k.tombs*2 > len(k.queue.items) && len(k.queue.items) >= compactMinQueue {
@@ -244,6 +290,9 @@ func (k *Kernel) Step() bool {
 	k.queue.Pop()
 	k.now = ev.time
 	k.steps++
+	if k.progressEvery != 0 && k.steps%k.progressEvery == 0 {
+		k.onProgress()
+	}
 	ev.fn()
 	return true
 }

@@ -447,6 +447,66 @@ func TestKernelAccessors(t *testing.T) {
 	}
 }
 
+func TestKernelStats(t *testing.T) {
+	k := NewKernel()
+	events := make([]*Event, 0, 10)
+	for i := 0; i < 10; i++ {
+		events = append(events, k.Schedule(Time(i), PriorityDefault, func() {}))
+	}
+	k.Cancel(events[3])
+	k.Cancel(events[7])
+	k.Release(events[3])
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The released tombstone feeds the free list; the next Schedule reuses it.
+	k.Schedule(100, PriorityDefault, func() {})
+	st := k.Stats()
+	if st.Scheduled != 11 {
+		t.Errorf("Scheduled = %d, want 11", st.Scheduled)
+	}
+	if st.Fired != 8 {
+		t.Errorf("Fired = %d, want 8", st.Fired)
+	}
+	if st.Cancelled != 2 {
+		t.Errorf("Cancelled = %d, want 2", st.Cancelled)
+	}
+	if st.Recycled != 1 {
+		t.Errorf("Recycled = %d, want 1", st.Recycled)
+	}
+	if st.PeakQueue != 10 {
+		t.Errorf("PeakQueue = %d, want 10", st.PeakQueue)
+	}
+	if st.Pending != 1 {
+		t.Errorf("Pending = %d, want 1", st.Pending)
+	}
+}
+
+func TestKernelProgressHook(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 10; i++ {
+		k.Schedule(Time(i), PriorityDefault, func() {})
+	}
+	calls := 0
+	k.SetProgress(3, func() { calls++ })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 { // after events 3, 6, 9
+		t.Errorf("progress hook ran %d times, want 3", calls)
+	}
+	// Clearing the hook stops callbacks.
+	k.SetProgress(0, nil)
+	k.Schedule(20, PriorityDefault, func() {})
+	k.Schedule(21, PriorityDefault, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("cleared progress hook still ran (%d calls)", calls)
+	}
+}
+
 func TestKernelInvalidArguments(t *testing.T) {
 	k := NewKernel()
 	mustPanic := func(name string, f func()) {

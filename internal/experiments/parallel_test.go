@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 )
@@ -110,5 +111,19 @@ func TestSweepParallelEquivalence(t *testing.T) {
 		if seq[i].Events != par[i].Events {
 			t.Errorf("cell %d events: sequential %d, parallel %d", i, seq[i].Events, par[i].Events)
 		}
+		// Per-cell telemetry must be deterministic too (wall/heap aside).
+		ss, ps := seq[i].Snapshot.StripWall(), par[i].Snapshot.StripWall()
+		if fmt.Sprintf("%+v", ss) != fmt.Sprintf("%+v", ps) {
+			t.Errorf("cell %d telemetry snapshot differs:\nseq: %+v\npar: %+v", i, ss, ps)
+		}
+	}
+	// The grid-order aggregate is therefore deterministic as well.
+	aggSeq := AggregateSnapshots(seq).StripWall()
+	aggPar := AggregateSnapshots(par).StripWall()
+	if fmt.Sprintf("%+v", aggSeq) != fmt.Sprintf("%+v", aggPar) {
+		t.Errorf("aggregated snapshots differ:\nseq: %+v\npar: %+v", aggSeq, aggPar)
+	}
+	if aggSeq.Runs != len(seq) || aggSeq.Kernel.Fired == 0 {
+		t.Errorf("aggregate implausible: %+v", aggSeq)
 	}
 }

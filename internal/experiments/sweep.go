@@ -17,6 +17,21 @@ type SweepPoint struct {
 	Summary        elastisim.Summary
 	Events         uint64
 	WallMillis     int64
+	// Snapshot is the cell's self-profiling telemetry (kernel, solver,
+	// scheduler counters). Everything except the wall/heap fields is
+	// deterministic across worker counts.
+	Snapshot elastisim.TelemetrySnapshot
+}
+
+// AggregateSnapshots sums the per-cell telemetry snapshots in grid order.
+// Because cells land in a slice indexed by cell, the aggregate (after
+// StripWall) is bit-identical for any worker count.
+func AggregateSnapshots(pts []SweepPoint) elastisim.TelemetrySnapshot {
+	var agg elastisim.TelemetrySnapshot
+	for _, p := range pts {
+		agg.Add(p.Snapshot)
+	}
+	return agg
 }
 
 // SweepConfig spans the grid. Zero-valued fields get defaults matching the
@@ -37,6 +52,9 @@ type SweepConfig struct {
 	// simulations, so every simulated value is bit-identical across
 	// worker counts; only wall-clock measurements vary.
 	Workers int
+	// OnCellDone, when set, is called once per finished grid cell, possibly
+	// from concurrent worker goroutines (progress reporting hook).
+	OnCellDone func()
 }
 
 func (c *SweepConfig) withDefaults() SweepConfig {
@@ -110,6 +128,9 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("sweep cell (%s, %.2f, %d): %w", c.algorithm, c.share, c.seed, err)
 		}
+		if cfg.OnCellDone != nil {
+			cfg.OnCellDone()
+		}
 		return SweepPoint{
 			Algorithm:      c.algorithm,
 			MalleableShare: c.share,
@@ -118,6 +139,7 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 			Summary:        res.Summary,
 			Events:         res.Events,
 			WallMillis:     res.WallClock.Milliseconds(),
+			Snapshot:       res.Telemetry,
 		}, nil
 	})
 }

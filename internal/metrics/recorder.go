@@ -109,6 +109,23 @@ type GanttEntry struct {
 	End   float64 `json:"end"`
 }
 
+// Outage is one failure/repair interval of a node. End is negative while
+// the outage is still open at the end of the simulation.
+type Outage struct {
+	Node  int     `json:"node"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// ReconfigMark is one applied allocation change, for overlaying
+// reconfiguration markers on visualizations.
+type ReconfigMark struct {
+	Job  job.ID  `json:"job"`
+	T    float64 `json:"t"`
+	From int     `json:"from"`
+	To   int     `json:"to"`
+}
+
 // Recorder accumulates statistics during a simulation run. It is driven by
 // the engine's lifecycle callbacks.
 type Recorder struct {
@@ -126,6 +143,8 @@ type Recorder struct {
 	nodeFailures int
 	requeues     int
 	badput       float64
+	outages      []Outage
+	reconfMarks  []ReconfigMark
 }
 
 // NewRecorder creates a recorder for a machine of totalNodes nodes.
@@ -176,6 +195,7 @@ func (rec *Recorder) JobStarted(id job.ID, t float64, nodes int) {
 // JobReconfigured registers an applied allocation change.
 func (rec *Recorder) JobReconfigured(id job.ID, t float64, newNodes int) {
 	r := rec.get(id)
+	rec.reconfMarks = append(rec.reconfMarks, ReconfigMark{Job: id, T: t, From: r.curNodes, To: newNodes})
 	r.NodeSeconds += float64(r.curNodes) * (t - r.lastChange)
 	rec.busy.Add(t, float64(newNodes-r.curNodes))
 	r.curNodes = newNodes
@@ -239,15 +259,23 @@ func (rec *Recorder) JobRequeued(id job.ID, t float64) {
 	rec.queued.Add(t, 1)
 }
 
-// NodeDown registers a node failure (availability timeline + counter).
-func (rec *Recorder) NodeDown(t float64) {
+// NodeDown registers a node failure (availability timeline, counter, and
+// the node's outage interval).
+func (rec *Recorder) NodeDown(node int, t float64) {
 	rec.nodeFailures++
 	rec.down.Add(t, 1)
+	rec.outages = append(rec.outages, Outage{Node: node, Start: t, End: -1})
 }
 
-// NodeUp registers a node repair.
-func (rec *Recorder) NodeUp(t float64) {
+// NodeUp registers a node repair, closing the node's open outage.
+func (rec *Recorder) NodeUp(node int, t float64) {
 	rec.down.Add(t, -1)
+	for i := len(rec.outages) - 1; i >= 0; i-- {
+		if rec.outages[i].Node == node && rec.outages[i].End < 0 {
+			rec.outages[i].End = t
+			return
+		}
+	}
 }
 
 // JobAbandoned registers a job killed while still pending (never started).
@@ -294,6 +322,12 @@ func (rec *Recorder) DownTimeline() *Timeline { return &rec.down }
 
 // Gantt returns the recorded allocation segments.
 func (rec *Recorder) Gantt() []GanttEntry { return rec.gantt }
+
+// Outages returns the recorded node failure intervals, in failure order.
+func (rec *Recorder) Outages() []Outage { return rec.outages }
+
+// ReconfigMarks returns the applied allocation changes, in time order.
+func (rec *Recorder) ReconfigMarks() []ReconfigMark { return rec.reconfMarks }
 
 // TotalNodes returns the machine size.
 func (rec *Recorder) TotalNodes() int { return rec.totalNodes }

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// RunProgress is an opt-in live ticker for one simulation run. The DES
+// kernel calls Tick every EveryEvents fired events; RunProgress rate-limits
+// actual terminal writes to Interval of wall-clock time and reports
+// simulated time plus events/second to W (conventionally stderr).
+//
+// Progress output is wall-clock driven and goes to a side channel, so it
+// never perturbs simulation outputs.
+type RunProgress struct {
+	W        io.Writer
+	Interval time.Duration // min wall time between writes (default 500ms)
+	Label    string        // optional prefix, e.g. the run's name
+
+	start    time.Time
+	lastWall time.Time
+	lastEv   uint64
+	wrote    bool
+}
+
+// EveryEvents is the kernel-side sampling stride for progress callbacks:
+// coarse enough to stay off the hot path, fine enough for sub-second
+// updates on realistic event rates.
+const EveryEvents = 4096
+
+// Tick reports progress at simulated time simT after events fired events.
+// Writes are throttled to Interval.
+func (p *RunProgress) Tick(simT float64, events uint64) {
+	now := time.Now()
+	if p.start.IsZero() {
+		p.start, p.lastWall, p.lastEv = now, now, events
+		return
+	}
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if now.Sub(p.lastWall) < interval {
+		return
+	}
+	rate := float64(events-p.lastEv) / now.Sub(p.lastWall).Seconds()
+	p.lastWall, p.lastEv = now, events
+	label := p.Label
+	if label != "" {
+		label += " "
+	}
+	fmt.Fprintf(p.W, "\r%st=%.0fs events=%d (%.0f ev/s)   ", label, simT, events, rate)
+	p.wrote = true
+}
+
+// Done terminates the progress line, if any was written.
+func (p *RunProgress) Done() {
+	if p.wrote {
+		fmt.Fprintln(p.W)
+	}
+}
+
+// CellProgress tracks completion of a fixed number of experiment cells
+// (e.g. sweep points) across concurrent workers and prints done/total
+// with an ETA extrapolated from the average cell wall time.
+type CellProgress struct {
+	W     io.Writer
+	Total int
+
+	mu    sync.Mutex
+	start time.Time
+	done  int
+	wrote bool
+}
+
+// CellDone marks one cell finished and reprints the status line.
+func (p *CellProgress) CellDone() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if p.start.IsZero() {
+		p.start = now
+	}
+	p.done++
+	elapsed := now.Sub(p.start)
+	var eta time.Duration
+	if p.done > 0 && p.done < p.Total {
+		eta = time.Duration(float64(elapsed) / float64(p.done) * float64(p.Total-p.done))
+	}
+	fmt.Fprintf(p.W, "\rcells %d/%d elapsed=%s eta=%s   ",
+		p.done, p.Total, elapsed.Round(time.Second), eta.Round(time.Second))
+	p.wrote = true
+}
+
+// Done terminates the progress line, if any was written.
+func (p *CellProgress) Done() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wrote {
+		fmt.Fprintln(p.W)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/job"
 	"repro/internal/metrics"
 )
 
@@ -21,6 +22,10 @@ type Options struct {
 	Height int
 	// Title is drawn at the top.
 	Title string
+	// Outages overlays node failure/repair intervals on the Gantt chart as
+	// hatched gray bands on the failed node's lane. Open outages (End < 0)
+	// extend to the end of the plotted time range.
+	Outages []metrics.Outage
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +69,19 @@ func (b *svgBuilder) rect(x, y, w, h float64, fill, title string) {
 	}
 	fmt.Fprintf(&b.sb, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="#333" stroke-width="0.4">`,
 		x, y, w, h, fill)
+	if title != "" {
+		fmt.Fprintf(&b.sb, `<title>%s</title>`, escape(title))
+	}
+	b.sb.WriteString("</rect>\n")
+}
+
+// shadedRect draws a borderless, semi-transparent rect (overlays).
+func (b *svgBuilder) shadedRect(x, y, w, h float64, fill string, opacity float64, title string) {
+	if w <= 0 || h <= 0 {
+		return
+	}
+	fmt.Fprintf(&b.sb, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="%.2f">`,
+		x, y, w, h, fill, opacity)
 	if title != "" {
 		fmt.Fprintf(&b.sb, `<title>%s</title>`, escape(title))
 	}
@@ -221,6 +239,7 @@ func Gantt(w io.Writer, entries []metrics.GanttEntry, totalNodes int, opts Optio
 		}
 		running = kept
 	}
+	seen := map[job.ID]bool{}
 	for _, e := range sorted {
 		release(e.Start)
 		var lanes []int
@@ -235,10 +254,39 @@ func Gantt(w io.Writer, entries []metrics.GanttEntry, totalNodes int, opts Optio
 		for _, runSeg := range contiguous(lanes) {
 			x := xOf(e.Start)
 			y := yOf(runSeg[len(runSeg)-1])
-			b.rect(x, y, xOf(e.End)-x, laneH*float64(len(runSeg)),
+			h := laneH * float64(len(runSeg))
+			b.rect(x, y, xOf(e.End)-x, h,
 				jobColor(int(e.Job)),
 				fmt.Sprintf("%s: %d nodes, %.1f–%.1f s", e.Name, e.Nodes, e.Start, e.End))
+			// A later segment of an already-drawn job starts at a
+			// reconfiguration: mark the boundary.
+			if seen[e.Job] {
+				b.line(x, y, x, y+h, "#b02222", 1.4)
+			}
 		}
+		seen[e.Job] = true
+	}
+
+	// Overlay node outages: hatched gray bands on the failed node's lane.
+	// The lane-assignment discipline above mirrors the allocator, so the
+	// node index doubles as the lane index. Open outages run to the plot
+	// edge.
+	for _, o := range opts.Outages {
+		if o.Node < 0 || o.Node >= totalNodes {
+			continue
+		}
+		end := o.End
+		if end < 0 || end > maxT {
+			end = maxT
+		}
+		start := o.Start
+		if start > maxT {
+			continue
+		}
+		x := xOf(start)
+		y := yOf(o.Node)
+		b.shadedRect(x, y, xOf(end)-x, laneH, "#555", 0.55,
+			fmt.Sprintf("node %d down, %.1f–%.1f s", o.Node, o.Start, end))
 	}
 
 	// Axes.

@@ -3,11 +3,16 @@ package viz
 import (
 	"bytes"
 	"encoding/xml"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/metrics"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // parseSVG checks well-formedness and counts elements by local name.
 func parseSVG(t *testing.T, data []byte) map[string]int {
@@ -57,6 +62,53 @@ func TestGanttWellFormed(t *testing.T) {
 	// Tooltips carry job names.
 	if !strings.Contains(buf.String(), "<title>a: ") {
 		t.Error("segment tooltip missing")
+	}
+}
+
+func TestGanttOutagesAndReconfigMarkers(t *testing.T) {
+	entries := sampleGantt()
+	outages := []metrics.Outage{
+		{Node: 6, Start: 5, End: 15},
+		{Node: 12, Start: 18, End: -1}, // still down at the end
+		{Node: 99, Start: 1, End: 2},   // out of range: dropped
+	}
+	var buf bytes.Buffer
+	err := Gantt(&buf, entries, 16, Options{Title: "failures", Outages: outages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	parseSVG(t, buf.Bytes())
+	if !strings.Contains(out, "node 6 down, 5.0–15.0 s") {
+		t.Error("closed outage band missing")
+	}
+	// The open outage is clamped to the plotted range (maxT = 25).
+	if !strings.Contains(out, "node 12 down, 18.0–25.0 s") {
+		t.Error("open outage band not clamped to plot edge")
+	}
+	if strings.Contains(out, "node 99") {
+		t.Error("out-of-range outage drawn")
+	}
+	// Job 0's second segment (the expansion at t=10) gets a marker line.
+	if !strings.Contains(out, `stroke="#b02222"`) {
+		t.Error("reconfiguration marker missing")
+	}
+
+	golden := filepath.Join("testdata", "gantt_golden.svg")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("Gantt output differs from golden; rerun with -update if intended")
 	}
 }
 
