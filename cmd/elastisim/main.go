@@ -18,6 +18,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,12 +29,15 @@ import (
 	"strings"
 
 	"repro/elastisim"
+	"repro/internal/cli"
 	"repro/internal/extsched"
 	"repro/internal/telemetry"
 	"repro/internal/unit"
 )
 
-func main() {
+func main() { cli.Main("elastisim", run) }
+
+func run(ctx context.Context) error {
 	var (
 		platformPath = flag.String("platform", "", "platform JSON file (required)")
 		workloadPath = flag.String("workload", "", "workload JSON file (required unless -swf)")
@@ -67,16 +72,16 @@ func main() {
 
 	if *printFormats {
 		fmt.Print(formatExamples)
-		return
+		return nil
 	}
 	if *platformPath == "" || (*workloadPath == "" && *swfPath == "") {
 		flag.Usage()
-		os.Exit(2)
+		return cli.ErrUsage
 	}
 
 	spec, err := elastisim.LoadPlatform(*platformPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var wl *elastisim.Workload
 	if *swfPath != "" {
@@ -91,29 +96,29 @@ func main() {
 		wl, err = elastisim.LoadWorkload(*workloadPath, spec.TotalNodes())
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var algo elastisim.Algorithm
 	var extProc *extsched.Process
 	if *external != "" {
 		extProc, err = extsched.StartProcess(strings.Fields(*external))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		algo = extProc
 	} else {
 		algo, err = elastisim.NewAlgorithm(*algoName)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		defer pprof.StopCPUProfile()
@@ -126,37 +131,53 @@ func main() {
 	}
 	tracer, closeTel, err := setupTelemetry(*traceOut, *traceJSONL, *auditOut)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	opts.Telemetry = tracer
 	if *progress {
 		opts.Progress = &telemetry.RunProgress{W: os.Stderr, Label: "sim"}
 	}
-	res, err := elastisim.Run(elastisim.Config{
+	session, err := elastisim.NewSession(elastisim.Config{
 		Platform:  spec,
 		Workload:  wl,
 		Algorithm: algo,
 		Options:   opts,
 	})
-	if cerr := closeTel(); err == nil && cerr != nil {
+	if err != nil {
+		closeTel()
+		return err
+	}
+	res, err := session.Run(ctx)
+	// On Ctrl-C the session returns the partial result alongside ctx.Err():
+	// flush every requested artifact from it, then exit 130.
+	var cancelErr error
+	if err != nil && res != nil && errors.Is(err, ctx.Err()) {
+		cancelErr = err
+	}
+	if cerr := closeTel(); cerr != nil && err == nil {
 		err = cerr
 	}
-	if err != nil {
-		fatal(err)
+	if err != nil && cancelErr == nil {
+		return err
+	}
+	if cancelErr != nil {
+		p := session.Peek()
+		fmt.Fprintf(os.Stderr, "elastisim: cancelled at sim time %.1f s after %d events (%d/%d jobs finished); writing partial results\n",
+			p.Now, p.Events, p.Completed, p.Total)
 	}
 	if *telemetryOut != "" {
 		if err := writeFile(*telemetryOut, res.Telemetry.WriteJSON); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		f.Close()
 	}
@@ -193,7 +214,7 @@ func main() {
 	if *verbose {
 		fmt.Println()
 		if err := res.Recorder.WriteJobsCSV(os.Stdout); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *trace {
@@ -207,19 +228,19 @@ func main() {
 	}
 	if *jobsCSV != "" {
 		if err := writeFile(*jobsCSV, res.Recorder.WriteJobsCSV); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *utilCSV != "" {
 		if err := writeFile(*utilCSV, func(w io.Writer) error {
 			return res.Recorder.BusyTimeline().WriteCSV(w, "busy_nodes")
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *ganttJSON != "" {
 		if err := writeFile(*ganttJSON, res.Recorder.WriteGanttJSON); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *ganttSVG != "" {
@@ -227,23 +248,24 @@ func main() {
 		if err := writeFile(*ganttSVG, func(w io.Writer) error {
 			return res.WriteGanttSVG(w, title)
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *utilSVG != "" {
 		if err := writeFile(*utilSVG, func(w io.Writer) error {
 			return res.WriteUtilizationSVG(w, "cluster utilization")
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *swfOut != "" {
 		if err := writeFile(*swfOut, func(w io.Writer) error {
 			return res.Recorder.WriteSWF(w, *swfOutCores)
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return cancelErr
 }
 
 // setupTelemetry builds a tracer streaming to the requested artifact files.
@@ -317,11 +339,6 @@ func writeFile(path string, write func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "elastisim:", err)
-	os.Exit(1)
 }
 
 // Both example documents below are valid files: paste them as-is.

@@ -17,16 +17,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
 
-func main() {
+func main() { cli.Main("expreport", run) }
+
+func run(ctx context.Context) error {
 	var (
 		seed     = flag.Uint64("seed", 7, "workload seed")
 		jobs     = flag.Int("jobs", 150, "job count for the batch experiments")
@@ -37,11 +41,7 @@ func main() {
 	flag.Parse()
 
 	if *snapDiff != "" {
-		if err := diffSnapshots(*snapDiff, *markdown); err != nil {
-			fmt.Fprintln(os.Stderr, "expreport:", err)
-			os.Exit(1)
-		}
-		return
+		return diffSnapshots(*snapDiff, *markdown)
 	}
 
 	selected := map[string]bool{}
@@ -52,10 +52,53 @@ func main() {
 	}
 	want := func(id string) bool { return len(selected) == 0 || selected[id] }
 
-	emit := func(t *experiments.Table, err error) {
+	// Each experiment is a closure so an interrupt can stop between them:
+	// tables printed so far stay on stdout, the rest never start.
+	reports := []struct {
+		id  string
+		gen func() (*experiments.Table, error)
+	}{
+		{"E1", func() (*experiments.Table, error) {
+			t, _, _, err := experiments.E1Utilization(*seed, *jobs)
+			return t, err
+		}},
+		{"E2", func() (*experiments.Table, error) {
+			t, _, err := experiments.E2MalleableShare(*seed, *jobs)
+			return t, err
+		}},
+		{"E3", func() (*experiments.Table, error) { t, _, err := experiments.E3Schedulers(*seed, *jobs); return t, err }},
+		{"E4", func() (*experiments.Table, error) {
+			t, _, _, err := experiments.E4BurstBuffer(*seed, *jobs/3)
+			return t, err
+		}},
+		{"E5", func() (*experiments.Table, error) { return experiments.E5Scalability(*seed) }},
+		{"E6", func() (*experiments.Table, error) { t, _, err := experiments.E6Validation(); return t, err }},
+		{"E7", func() (*experiments.Table, error) { t, _, err := experiments.E7Evolving(*seed); return t, err }},
+		{"E8", func() (*experiments.Table, error) {
+			t, _, err := experiments.E8ReconfigCost(*seed, *jobs)
+			return t, err
+		}},
+		{"E9", func() (*experiments.Table, error) { t, _, err := experiments.E9Topology(*seed, *jobs); return t, err }},
+		{"E10", func() (*experiments.Table, error) {
+			t, _, err := experiments.E10Resilience(*seed, *jobs)
+			return t, err
+		}},
+		{"A1", func() (*experiments.Table, error) { return experiments.AblationInvocation(*seed, *jobs) }},
+		{"A2", func() (*experiments.Table, error) { return experiments.AblationFairness(*seed, *jobs/3) }},
+		{"A3", func() (*experiments.Table, error) { return experiments.AblationMoldable(*seed, *jobs) }},
+		{"A4", func() (*experiments.Table, error) { return experiments.AblationFairShare(*seed, *jobs) }},
+		{"A5", func() (*experiments.Table, error) { return experiments.AblationFastPath(*seed) }},
+	}
+	for _, r := range reports {
+		if !want(r.id) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t, err := r.gen()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "expreport:", err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", r.id, err)
 		}
 		if *markdown {
 			fmt.Print(t.Markdown())
@@ -64,67 +107,7 @@ func main() {
 			fmt.Println()
 		}
 	}
-
-	if want("E1") {
-		t, _, _, err := experiments.E1Utilization(*seed, *jobs)
-		emit(t, err)
-	}
-	if want("E2") {
-		t, _, err := experiments.E2MalleableShare(*seed, *jobs)
-		emit(t, err)
-	}
-	if want("E3") {
-		t, _, err := experiments.E3Schedulers(*seed, *jobs)
-		emit(t, err)
-	}
-	if want("E4") {
-		t, _, _, err := experiments.E4BurstBuffer(*seed, *jobs/3)
-		emit(t, err)
-	}
-	if want("E5") {
-		t, err := experiments.E5Scalability(*seed)
-		emit(t, err)
-	}
-	if want("E6") {
-		t, _, err := experiments.E6Validation()
-		emit(t, err)
-	}
-	if want("E7") {
-		t, _, err := experiments.E7Evolving(*seed)
-		emit(t, err)
-	}
-	if want("E8") {
-		t, _, err := experiments.E8ReconfigCost(*seed, *jobs)
-		emit(t, err)
-	}
-	if want("E9") {
-		t, _, err := experiments.E9Topology(*seed, *jobs)
-		emit(t, err)
-	}
-	if want("E10") {
-		t, _, err := experiments.E10Resilience(*seed, *jobs)
-		emit(t, err)
-	}
-	if want("A1") {
-		t, err := experiments.AblationInvocation(*seed, *jobs)
-		emit(t, err)
-	}
-	if want("A2") {
-		t, err := experiments.AblationFairness(*seed, *jobs/3)
-		emit(t, err)
-	}
-	if want("A3") {
-		t, err := experiments.AblationMoldable(*seed, *jobs)
-		emit(t, err)
-	}
-	if want("A4") {
-		t, err := experiments.AblationFairShare(*seed, *jobs)
-		emit(t, err)
-	}
-	if want("A5") {
-		t, err := experiments.AblationFastPath(*seed)
-		emit(t, err)
-	}
+	return nil
 }
 
 // diffSnapshots prints a before/after table of two telemetry snapshot

@@ -11,26 +11,25 @@
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"os"
 	"strings"
 
 	"repro/elastisim"
+	"repro/internal/cli"
 	"repro/internal/extsched"
 )
 
-func main() {
+func main() { cli.Main("extalgo", run) }
+
+func run(ctx context.Context) error {
 	algoName := flag.String("algorithm", "fcfs",
 		"policy to serve: "+strings.Join(elastisim.AlgorithmNames(), ", "))
 	flag.Parse()
 	algo, err := elastisim.NewAlgorithm(*algoName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "extalgo:", err)
-		os.Exit(2)
+		return cli.Usagef("%v", err)
 	}
-	if err := extsched.Serve(algo, os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "extalgo:", err)
-		os.Exit(1)
-	}
+	return extsched.Serve(algo, os.Stdin, os.Stdout)
 }

@@ -9,9 +9,14 @@
 //
 // Cells run concurrently (-workers; 0 means one per CPU). The CSV is
 // bit-identical for any worker count — only wall-clock columns vary.
+//
+// Ctrl-C stops the sweep gracefully: in-flight simulations stop between
+// events, the CSV rows of every completed cell are flushed to stdout, and
+// the process exits with code 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +24,14 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
 
-func main() {
+func main() { cli.Main("sweep", run) }
+
+func run(ctx context.Context) error {
 	var (
 		algorithms   = flag.String("algorithms", "fcfs,easy,adaptive", "comma-separated algorithm names")
 		shares       = flag.String("shares", "0,0.5,1", "comma-separated malleable shares in [0,1]")
@@ -40,10 +48,10 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		defer pprof.StopCPUProfile()
@@ -54,14 +62,14 @@ func main() {
 	for _, s := range strings.Split(*shares, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil || v < 0 || v > 1 {
-			fatal(fmt.Errorf("bad share %q", s))
+			return cli.Usagef("bad share %q", s)
 		}
 		cfg.Shares = append(cfg.Shares, v)
 	}
 	for _, s := range strings.Split(*seeds, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
 		if err != nil {
-			fatal(fmt.Errorf("bad seed %q", s))
+			return cli.Usagef("bad seed %q", s)
 		}
 		cfg.Seeds = append(cfg.Seeds, v)
 	}
@@ -72,34 +80,42 @@ func main() {
 		prog = &telemetry.CellProgress{W: os.Stderr, Total: cells}
 		cfg.OnCellDone = prog.CellDone
 	}
-	pts, err := experiments.Sweep(cfg)
+	pts, done, err := experiments.SweepContext(ctx, cfg)
 	if prog != nil {
 		prog.Done()
 	}
-	if err != nil {
-		fatal(err)
+	if err != nil && ctx.Err() == nil {
+		return err
 	}
-	if err := experiments.WriteSweepCSV(os.Stdout, pts); err != nil {
-		fatal(err)
+	// Keep the rows of completed cells — on interrupt that's the partial
+	// grid worth flushing; on a clean run it's everything.
+	completed := pts[:0:0]
+	for i, d := range done {
+		if d {
+			completed = append(completed, pts[i])
+		}
+	}
+	if werr := experiments.WriteSweepCSV(os.Stdout, completed); werr != nil {
+		return werr
 	}
 	if *telemetryOut != "" {
-		agg := experiments.AggregateSnapshots(pts)
-		f, err := os.Create(*telemetryOut)
-		if err != nil {
-			fatal(err)
+		agg := experiments.AggregateSnapshots(completed)
+		f, ferr := os.Create(*telemetryOut)
+		if ferr != nil {
+			return ferr
 		}
-		if err := agg.WriteJSON(f); err != nil {
+		if werr := agg.WriteJSON(f); werr != nil {
 			f.Close()
-			fatal(err)
+			return werr
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if cerr := f.Close(); cerr != nil {
+			return cerr
 		}
 	}
-	fmt.Fprintf(os.Stderr, "sweep: %d cells\n", len(pts))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: cancelled after %d/%d cells; flushed the completed rows\n", len(completed), len(pts))
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells\n", len(completed))
+	return nil
 }

@@ -11,28 +11,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/telemetry"
 )
 
-func main() {
+func main() { cli.Main("tracecheck", run) }
+
+func run(ctx context.Context) error {
 	quiet := flag.Bool("q", false, "suppress the per-track summary, report errors only")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck [-q] trace.json")
-		os.Exit(2)
+		return cli.ErrUsage
 	}
 	path := flag.Arg(0)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	stats, err := telemetry.ValidateChromeTrace(data)
 	if err != nil {
-		fatal(fmt.Errorf("%s: %w", path, err))
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	open := 0
 	for _, k := range stats.SortedTrackKeys() {
@@ -44,14 +48,10 @@ func main() {
 		}
 	}
 	if open > 0 {
-		fatal(fmt.Errorf("%s: %d span(s) left open (B without E)", path, open))
+		return fmt.Errorf("%s: %d span(s) left open (B without E)", path, open)
 	}
 	if !*quiet {
 		fmt.Printf("ok: %d events on %d tracks\n", stats.Events, len(stats.Tracks))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracecheck:", err)
-	os.Exit(1)
+	return nil
 }

@@ -7,15 +7,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/elastisim"
+	"repro/internal/cli"
 	"repro/internal/job"
 )
 
-func main() {
+func main() { cli.Main("workgen", run) }
+
+func run(ctx context.Context) error {
 	var (
 		count     = flag.Int("count", 100, "number of jobs")
 		seed      = flag.Uint64("seed", 1, "generator seed")
@@ -68,16 +72,15 @@ func main() {
 		CheckpointInterval: *ckpt,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "workgen:", err)
-		os.Exit(1)
+		return err
 	}
 	out, err := wl.MarshalJSON()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "workgen:", err)
-		os.Exit(1)
+		return err
 	}
 	os.Stdout.Write(out)
 	fmt.Println()
 	counts := wl.CountByType()
 	fmt.Fprintf(os.Stderr, "workgen: %d jobs (%v)\n", len(wl.Jobs), counts)
+	return nil
 }

@@ -12,15 +12,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/elastisim"
+	"repro/internal/cli"
 	"repro/internal/telemetry"
 )
 
-func main() {
+func main() { cli.Main("workinfo", run) }
+
+func run(ctx context.Context) error {
 	var (
 		workloadPath = flag.String("workload", "", "workload JSON file")
 		swfPath      = flag.String("swf", "", "SWF trace instead of JSON")
@@ -31,15 +35,11 @@ func main() {
 	)
 	flag.Parse()
 	if *tracePath != "" {
-		if err := summarizeTrace(*tracePath); err != nil {
-			fmt.Fprintln(os.Stderr, "workinfo:", err)
-			os.Exit(1)
-		}
-		return
+		return summarizeTrace(*tracePath)
 	}
 	if *workloadPath == "" && *swfPath == "" {
 		flag.Usage()
-		os.Exit(2)
+		return cli.ErrUsage
 	}
 	var (
 		wl  *elastisim.Workload
@@ -54,11 +54,11 @@ func main() {
 		wl, err = elastisim.LoadWorkload(*workloadPath, *nodes)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "workinfo:", err)
-		os.Exit(1)
+		return err
 	}
 	stats := wl.Stats()
 	stats.Fprint(os.Stdout, wl.Name)
+	return nil
 }
 
 // summarizeTrace prints per-job wait/run/reconfigure totals from a JSONL

@@ -26,6 +26,7 @@
 package elastisim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -214,43 +215,23 @@ type Result struct {
 	Telemetry TelemetrySnapshot
 	// WallClock is the host time the simulation took.
 	WallClock time.Duration
+	// Abort records how the run ended: AbortDrained for natural
+	// completion, AbortHorizon when Options.Horizon (or a RunUntil bound)
+	// cut it short, AbortCancelled/AbortDeadline when a context stopped a
+	// Session run mid-flight (the Result then holds partial metrics).
+	Abort AbortReason
 }
 
-// Run executes one simulation to completion.
+// Run executes one simulation to completion. It is exactly
+// NewSession(cfg) followed by Session.Run with a background context; use
+// a Session directly for cancellation, bounded execution, stepping, or
+// live progress snapshots.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Platform == nil || cfg.Workload == nil {
-		return nil, fmt.Errorf("elastisim: config needs a platform and a workload")
-	}
-	if cfg.Algorithm == nil {
-		return nil, fmt.Errorf("elastisim: config needs a scheduling algorithm")
-	}
-	opts := cfg.Options
-	if cfg.Failures != nil {
-		opts.Failures = cfg.Failures
-	}
-	eng, err := core.New(cfg.Platform, cfg.Workload, cfg.Algorithm, opts)
+	s, err := NewSession(cfg)
 	if err != nil {
 		return nil, err
 	}
-	begin := time.Now()
-	rec, err := eng.Run()
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Summary:          rec.Summary(),
-		Records:          rec.Records(),
-		Recorder:         rec,
-		Invocations:      eng.Invocations(),
-		Decisions:        eng.DecisionsApplied(),
-		Events:           eng.Steps(),
-		Solves:           eng.Solves(),
-		SolvedActivities: eng.SolvedActivities(),
-		Warnings:         eng.Warnings(),
-		Trace:            eng.Trace(),
-		Telemetry:        eng.TelemetrySnapshot(),
-		WallClock:        time.Since(begin),
-	}, nil
+	return s.Run(context.Background())
 }
 
 // WriteGanttSVG renders the run's allocation segments as an SVG Gantt

@@ -25,6 +25,22 @@ func equivalenceRun(t *testing.T, forceFull bool) (*Result, string, []byte) {
 // (the telemetry tests attach sinks to the same scenario).
 func equivalenceRunOpts(t *testing.T, opts Options) (*Result, string, []byte) {
 	t.Helper()
+	res, err := Run(equivalenceConfig(t, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.NodeFailures == 0 {
+		t.Fatal("scenario injected no failures; the test is vacuous")
+	}
+	trace, csv := dumpRun(t, res)
+	return res, trace, csv
+}
+
+// equivalenceConfig builds the shared mixed-workload-with-failures
+// scenario; the session lifecycle tests drive the same config through
+// NewSession/Run/RunUntil/Step and compare against Run(cfg) byte for byte.
+func equivalenceConfig(t *testing.T, opts Options) Config {
+	t.Helper()
 	wl, err := GenerateWorkload(WorkloadConfig{
 		Seed: 11, Count: 60,
 		Arrival:            job.Arrival{Kind: job.ArrivalPoisson, Rate: 0.05},
@@ -37,7 +53,7 @@ func equivalenceRunOpts(t *testing.T, opts Options) (*Result, string, []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Config{
+	return Config{
 		Platform:  HomogeneousPlatform("eq", 32, 100e9, 10e9, 40e9, 40e9),
 		Workload:  wl,
 		Algorithm: NewAdaptive(),
@@ -46,13 +62,13 @@ func equivalenceRunOpts(t *testing.T, opts Options) (*Result, string, []byte) {
 			MTBF: 20000, MTTR: 300,
 		},
 		Options: opts,
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
-	if res.Summary.NodeFailures == 0 {
-		t.Fatal("scenario injected no failures; the test is vacuous")
-	}
+}
+
+// dumpRun renders a result's trace (%b exact binary floats) and per-job
+// CSV for byte-exact comparison.
+func dumpRun(t *testing.T, res *Result) (string, []byte) {
+	t.Helper()
 	var trace strings.Builder
 	for _, ev := range res.Trace {
 		subject := fmt.Sprintf("job%d", ev.Job)
@@ -65,7 +81,7 @@ func equivalenceRunOpts(t *testing.T, opts Options) (*Result, string, []byte) {
 	if err := res.Recorder.WriteJobsCSV(&csv); err != nil {
 		t.Fatal(err)
 	}
-	return res, trace.String(), csv.Bytes()
+	return trace.String(), csv.Bytes()
 }
 
 // TestIncrementalSolverEquivalence pins the central refactoring invariant:

@@ -6,9 +6,15 @@
 // Pass -trace-out quickstart.json to also write a Chrome trace_event span
 // trace of the run; load it in Perfetto (ui.perfetto.dev) or
 // chrome://tracing to see per-job and per-node timelines.
+//
+// Pass -step 300 to drive the same simulation through the Session API in
+// bounded 300-second slices of virtual time, printing a live snapshot
+// between slices. The sliced run produces the same results as the
+// one-shot Run — slicing is invisible to the simulation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +26,7 @@ import (
 
 func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON span trace to this path")
+	step := flag.Float64("step", 0, "drive the run through Session.RunUntil in slices of this many virtual seconds")
 	flag.Parse()
 	// A 16-node cluster: 100 Gflop/s nodes, 10 GB/s links, 40 GB/s PFS.
 	platform := elastisim.HomogeneousPlatform("demo", 16, 100e9, 10e9, 40e9, 40e9)
@@ -79,12 +86,19 @@ func main() {
 		opts.Telemetry = tracer
 	}
 
-	result, err := elastisim.Run(elastisim.Config{
+	cfg := elastisim.Config{
 		Platform:  platform,
 		Workload:  workload,
 		Algorithm: elastisim.NewAdaptive(),
 		Options:   opts,
-	})
+	}
+	var result *elastisim.Result
+	var err error
+	if *step > 0 {
+		result, err = runStepped(cfg, *step)
+	} else {
+		result, err = elastisim.Run(cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,4 +129,27 @@ func main() {
 	if err := result.Recorder.BusyTimeline().WriteCSV(os.Stdout, "busy"); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runStepped drives the simulation through the Session lifecycle API in
+// bounded slices of virtual time, peeking at live state between slices.
+func runStepped(cfg elastisim.Config, slice float64) (*elastisim.Result, error) {
+	s, err := elastisim.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(os.Stderr, "stepping:  sim time   events  queued  running  completed")
+	for bound := slice; ; bound += slice {
+		reason, err := s.RunUntil(context.Background(), bound)
+		if err != nil {
+			return nil, err
+		}
+		p := s.Peek()
+		fmt.Fprintf(os.Stderr, "          %8.0f s  %6d  %6d  %7d  %5d/%d\n",
+			p.Now, p.Events, p.Queued, p.Running, p.Completed, p.Total)
+		if reason == elastisim.AbortDrained {
+			break
+		}
+	}
+	return s.Result()
 }

@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"ok", nil, ExitOK},
+		{"error", errors.New("boom"), ExitError},
+		{"wrapped error", fmt.Errorf("ctx: %w", errors.New("boom")), ExitError},
+		{"usage", ErrUsage, ExitUsage},
+		{"usagef", Usagef("bad flag %q", "-x"), ExitUsage},
+		{"cancelled", context.Canceled, ExitCancelled},
+		{"wrapped cancelled", fmt.Errorf("sweep: %w", context.Canceled), ExitCancelled},
+		{"deadline", context.DeadlineExceeded, ExitCancelled},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Run("test", func(ctx context.Context) error { return tc.err })
+			if got != tc.want {
+				t.Errorf("Run(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestUsagefMatchesErrUsage(t *testing.T) {
+	err := Usagef("need a -platform")
+	if !errors.Is(err, ErrUsage) {
+		t.Fatalf("Usagef error does not match ErrUsage")
+	}
+	if err.Error() != "need a -platform" {
+		t.Errorf("message = %q", err.Error())
+	}
+}
+
+// TestRunSignalCancelsContext delivers a real SIGTERM to the process and
+// checks the run context observes it and the exit code is 130.
+func TestRunSignalCancelsContext(t *testing.T) {
+	got := Run("test", func(ctx context.Context) error {
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			return fmt.Errorf("self-signal: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return errors.New("context never cancelled after SIGTERM")
+		}
+	})
+	if got != ExitCancelled {
+		t.Errorf("exit code = %d, want %d", got, ExitCancelled)
+	}
+}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -118,7 +119,17 @@ type Engine struct {
 	trace               []TraceEvent
 	outstanding         int // jobs not yet finished
 	ran                 bool
+	started             bool // Start armed the initial events
+	progressDone        bool // Options.Progress ticker already terminated
+	telFinalized        bool // open telemetry spans force-closed after abort
 }
+
+// CancelCheckEvents is how many kernel events fire between context polls
+// during RunCtx/RunUntilCtx. Batched so a pending ctx.Done() costs one
+// integer compare per event on the hot path; coarse enough that the select
+// is noise, fine enough that cancellation lands within microseconds of
+// wall time on realistic event rates.
+const CancelCheckEvents = 1024
 
 // New builds an engine for one simulation run. The workload must already
 // validate against the platform.
@@ -193,11 +204,27 @@ func checkPlatformSupport(plat *platform.Platform, j *job.Job) error {
 }
 
 // Run executes the simulation to completion and returns the metrics
-// recorder. It may only be called once.
+// recorder. It may only be called once; session-style drivers use the
+// resumable Start/RunCtx/RunUntilCtx/StepN/Finish primitives instead.
 func (e *Engine) Run() (*metrics.Recorder, error) {
 	if e.ran {
 		return nil, fmt.Errorf("core: engine already ran")
 	}
+	e.ran = true
+	e.RunCtx(context.Background())
+	return e.Finish()
+}
+
+// Start arms the initial event set — job submissions, failure injection,
+// periodic scheduler invocations, the horizon, and the progress hook —
+// without executing anything. It is idempotent; every bounded-run entry
+// point calls it, so explicit use is only needed to observe the pre-run
+// state (e.g. Pending before the first event).
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
 	e.ran = true
 	e.outstanding = len(e.workload.Jobs)
 	for _, j := range e.workload.Jobs {
@@ -221,15 +248,99 @@ func (e *Engine) Run() (*metrics.Recorder, error) {
 		e.kernel.SetProgress(telemetry.EveryEvents, func() {
 			p.Tick(e.Now(), e.kernel.Steps())
 		})
-		defer p.Done()
+	}
+}
+
+// RunCtx executes events until the queue drains, the options horizon is
+// reached, or ctx is done, and reports which of those stopped it. The
+// engine stays resumable after a cancelled or horizon-bounded return:
+// calling RunCtx (or RunUntilCtx/StepN) again continues exactly where the
+// previous call stopped, and the resulting simulation is bit-identical to
+// an uninterrupted run regardless of how execution was sliced.
+func (e *Engine) RunCtx(ctx context.Context) AbortReason {
+	return e.runBounded(ctx, des.Infinity)
+}
+
+// RunUntilCtx executes events with time <= t (clamped to the options
+// horizon) and then advances the clock to the bound, unless ctx stops the
+// run first.
+func (e *Engine) RunUntilCtx(ctx context.Context, t float64) AbortReason {
+	return e.runBounded(ctx, des.Time(t))
+}
+
+// runBounded is the shared bounded-execution loop behind RunCtx and
+// RunUntilCtx. A bound of des.Infinity means "no bound beyond the options
+// horizon" and leaves the clock at the last event executed; a finite bound
+// advances the clock to the bound on a clean return (RunUntil contract).
+func (e *Engine) runBounded(ctx context.Context, bound des.Time) AbortReason {
+	e.Start()
+	if e.Drained() {
+		// Already complete: report that truthfully even under a
+		// cancelled context.
+		return AbortDrained
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return abortReasonForCtx(err)
+	}
+	if done := ctx.Done(); done != nil {
+		e.kernel.SetStopCheck(CancelCheckEvents, func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		})
+		defer e.kernel.SetStopCheck(0, nil)
 	}
 	t0 := time.Now()
-	err := e.kernel.Run()
-	e.wallRun = time.Since(t0)
-	if err != nil && err != des.ErrHalted {
-		return nil, err
+	var err error
+	if bound == des.Infinity {
+		err = e.kernel.Run()
+	} else {
+		err = e.kernel.RunUntil(bound)
 	}
-	if e.outstanding > 0 && e.opts.Horizon == 0 {
+	e.wallRun += time.Since(t0)
+	switch err {
+	case des.ErrStopped:
+		return abortReasonForCtx(ctx.Err())
+	case nil, des.ErrHalted:
+	}
+	if e.Drained() {
+		return AbortDrained
+	}
+	return AbortHorizon
+}
+
+// StepN executes up to n events and returns how many fired. Zero means the
+// queue is drained (or past the horizon): the simulation cannot advance.
+func (e *Engine) StepN(n int) int {
+	e.Start()
+	t0 := time.Now()
+	fired := e.kernel.StepN(n)
+	e.wallRun += time.Since(t0)
+	return fired
+}
+
+// Drained reports whether the event queue is empty — no further event can
+// ever fire, bounded or not. Before Start nothing is armed yet, so a
+// fresh engine is not drained.
+func (e *Engine) Drained() bool { return e.started && e.kernel.Pending() == 0 }
+
+// Finish terminates the progress ticker and returns the metrics recorder,
+// diagnosing a drained-but-unfinished workload as a deadlock (an algorithm
+// that never starts some jobs) unless a horizon legitimately cut the run
+// short. It is safe to call on an aborted engine: the recorder then holds
+// the partial metrics accumulated so far.
+func (e *Engine) Finish() (*metrics.Recorder, error) {
+	if p := e.opts.Progress; p != nil && !e.progressDone {
+		e.progressDone = true
+		p.Done()
+	}
+	if e.Drained() && e.outstanding > 0 && e.opts.Horizon == 0 {
 		return nil, fmt.Errorf("core: simulation deadlocked with %d unfinished jobs (algorithm %q never started them?)", e.outstanding, e.algo.Name())
 	}
 	return e.rec, nil
@@ -246,6 +357,25 @@ func (e *Engine) Steps() uint64 { return e.kernel.Steps() }
 
 // Invocations returns how many times the algorithm was invoked.
 func (e *Engine) Invocations() uint64 { return e.invocations }
+
+// TotalJobs returns the workload size.
+func (e *Engine) TotalJobs() int { return len(e.workload.Jobs) }
+
+// Outstanding returns the number of jobs not yet finished (including jobs
+// not yet submitted). Valid mid-run; it reaches zero exactly when the
+// workload completed. Before Start the whole workload is outstanding.
+func (e *Engine) Outstanding() int {
+	if !e.started {
+		return len(e.workload.Jobs)
+	}
+	return e.outstanding
+}
+
+// QueuedJobs returns the number of jobs currently pending in the queue.
+func (e *Engine) QueuedJobs() int { return len(e.queue) }
+
+// RunningJobs returns the number of jobs currently holding nodes.
+func (e *Engine) RunningJobs() int { return len(e.running) }
 
 // Solves returns how many fluid-solver recomputations ran.
 func (e *Engine) Solves() uint64 { return e.pool.Solves() }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"sort"
 	"strings"
 
 	"repro/internal/job"
@@ -147,6 +148,50 @@ func (e *Engine) telEndReconfig(jr *jobRun) {
 	}
 	tel.End(telemetry.JobTrack(int(jr.job.ID)), "reconfigure", e.Now())
 	jr.telReconfOpen = false
+}
+
+// FinalizeTelemetry force-closes every telemetry span still open — waiting
+// and running jobs, in-flight tasks and reconfigurations, per-node job and
+// outage spans — at the current simulation time. A completed run has no
+// open spans, so this is only meaningful (and only called) after an abort:
+// it keeps Chrome/JSONL sinks well-nested and machine-validatable even
+// when the simulation was cut short. Idempotent; the span ends carry an
+// "aborted" argument so post-processors can tell them from real
+// completions.
+func (e *Engine) FinalizeTelemetry() {
+	tel := e.opts.Telemetry
+	if !tel.Enabled() || e.telFinalized {
+		return
+	}
+	e.telFinalized = true
+	now := e.Now()
+	aborted := telemetry.Arg{Key: "aborted", Value: true}
+	ids := make([]int, 0, len(e.runs))
+	for id := range e.runs {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, i := range ids {
+		jr := e.runs[job.ID(i)]
+		tr := telemetry.JobTrack(i)
+		switch jr.state {
+		case stateHeld, statePending:
+			tel.End(tr, "wait", now, aborted)
+		case stateRunning, stateAtSchedPoint, stateReconfiguring:
+			e.telCloseTask(jr)
+			e.telEndReconfig(jr)
+			tel.End(tr, "run", now, aborted)
+			label := jr.job.Label()
+			for _, n := range jr.nodes {
+				tel.End(telemetry.NodeTrack(int(n)), label, now, aborted)
+			}
+		}
+	}
+	for n, down := range e.nodeDown {
+		if down {
+			tel.End(telemetry.NodeTrack(n), "outage", now, aborted)
+		}
+	}
 }
 
 // TelemetrySnapshot samples every internal counter into the self-profiling

@@ -76,6 +76,11 @@ func (e *Event) Cancelled() bool { return e.dead || e.index < 0 }
 // ErrHalted is returned by Run when the simulation was stopped explicitly.
 var ErrHalted = errors.New("des: simulation halted")
 
+// ErrStopped is returned by Run and RunUntil when the installed stop check
+// (SetStopCheck) requested termination between events. The queue is left
+// intact: the kernel can be resumed by calling Run again.
+var ErrStopped = errors.New("des: simulation stopped by external request")
+
 // compactMinQueue is the queue size below which tombstones are never
 // compacted in bulk; skimming at the top suffices for small queues.
 const compactMinQueue = 64
@@ -100,6 +105,15 @@ type Kernel struct {
 	// pays one integer compare either way.
 	progressEvery uint64
 	onProgress    func()
+
+	// Optional stop check: stopCheck is polled every stopEvery fired
+	// events from Run/RunUntil; returning true stops the loop between
+	// events with ErrStopped. Batching the poll keeps cancellation off the
+	// hot path — the loop pays one integer compare per event when a check
+	// is installed and nothing semantically observable when it never fires
+	// (events execute in exactly the same order either way).
+	stopEvery uint64
+	stopCheck func() bool
 }
 
 // NewKernel returns an empty kernel with the clock at zero.
@@ -147,6 +161,18 @@ func (k *Kernel) SetProgress(n uint64, fn func()) {
 		return
 	}
 	k.progressEvery, k.onProgress = n, fn
+}
+
+// SetStopCheck installs a cancellation probe polled every n fired events
+// during Run/RunUntil. When fn reports true the loop returns ErrStopped
+// with all remaining events queued, so execution can resume later.
+// n = 0 (or a nil fn) removes the probe.
+func (k *Kernel) SetStopCheck(n uint64, fn func() bool) {
+	if n == 0 || fn == nil {
+		k.stopEvery, k.stopCheck = 0, nil
+		return
+	}
+	k.stopEvery, k.stopCheck = n, fn
 }
 
 // Schedule enqueues fn to run at absolute time t with the given priority.
@@ -297,10 +323,27 @@ func (k *Kernel) Step() bool {
 	return true
 }
 
+// StepN executes up to n events and returns how many fired. Like Step it
+// stops early at an empty queue, the horizon, or a Halt; unlike Run it
+// never consults the stop check — the caller is the driver and decides
+// between batches. StepN is the primitive session-style drivers build
+// single-stepping and bounded bursts on.
+func (k *Kernel) StepN(n int) int {
+	fired := 0
+	for fired < n && k.Step() {
+		fired++
+	}
+	return fired
+}
+
 // Run executes events until the queue drains, the horizon is reached, or
-// Halt is called. It returns ErrHalted in the latter case.
+// Halt is called. It returns ErrHalted in the latter case, and ErrStopped
+// when an installed stop check (SetStopCheck) fired between events.
 func (k *Kernel) Run() error {
 	for k.Step() {
+		if k.stopEvery != 0 && k.steps%k.stopEvery == 0 && k.stopCheck() {
+			return ErrStopped
+		}
 	}
 	if k.halted {
 		return ErrHalted
@@ -309,9 +352,14 @@ func (k *Kernel) Run() error {
 }
 
 // RunUntil executes events with time <= t and then advances the clock to t
-// (if t is later than the last event executed).
+// (if t is later than the last event executed). When the run is stopped
+// early (Halt or stop check) the clock is NOT advanced: the simulation has
+// not observably reached t and remains resumable.
 func (k *Kernel) RunUntil(t Time) error {
 	saved := k.maxTime
+	if t > saved {
+		t = saved // never run past an installed horizon
+	}
 	k.maxTime = t
 	err := k.Run()
 	k.maxTime = saved

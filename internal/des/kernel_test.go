@@ -564,3 +564,138 @@ func TestRNGBool(t *testing.T) {
 		t.Errorf("Bool(0.25) true rate %d/%d", trues, n)
 	}
 }
+
+func TestKernelStepN(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		k.Schedule(Time(i), PriorityDefault, func() { fired++ })
+	}
+	if n := k.StepN(3); n != 3 || fired != 3 {
+		t.Fatalf("StepN(3) fired %d (counter %d), want 3", n, fired)
+	}
+	if k.Now() != 3 {
+		t.Fatalf("clock at %v after 3 steps, want 3", k.Now())
+	}
+	if n := k.StepN(0); n != 0 {
+		t.Fatalf("StepN(0) fired %d, want 0", n)
+	}
+	// Asking for more than remains stops at the drained queue.
+	if n := k.StepN(100); n != 7 || fired != 10 {
+		t.Fatalf("StepN(100) fired %d (counter %d), want 7", n, fired)
+	}
+	if n := k.StepN(5); n != 0 {
+		t.Fatalf("StepN on a drained kernel fired %d", n)
+	}
+}
+
+func TestKernelStepNStopsAtHorizon(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	for i := 1; i <= 6; i++ {
+		k.Schedule(Time(i), PriorityDefault, func() { fired++ })
+	}
+	k.SetHorizon(4)
+	if n := k.StepN(10); n != 4 || fired != 4 {
+		t.Fatalf("StepN under horizon 4 fired %d, want 4", n)
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("%d events pending beyond the horizon, want 2", k.Pending())
+	}
+	// Raising the horizon resumes exactly where it stopped.
+	k.SetHorizon(Time(math.Inf(1)))
+	if n := k.StepN(10); n != 2 || fired != 6 {
+		t.Fatalf("StepN after raising the horizon fired %d, want 2", n)
+	}
+}
+
+func TestKernelStopCheckBatching(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	for i := 1; i <= 20; i++ {
+		k.Schedule(Time(i), PriorityDefault, func() { fired++ })
+	}
+	// Stop check polled every 4 events, trips on the second poll.
+	polls := 0
+	k.SetStopCheck(4, func() bool { polls++; return polls >= 2 })
+	if err := k.Run(); err != ErrStopped {
+		t.Fatalf("Run returned %v, want ErrStopped", err)
+	}
+	if fired != 8 || polls != 2 {
+		t.Fatalf("stopped after %d events and %d polls, want 8 and 2", fired, polls)
+	}
+	if k.Pending() != 12 {
+		t.Fatalf("%d events pending after stop, want 12", k.Pending())
+	}
+	// The stopped kernel resumes: remove the probe and drain.
+	k.SetStopCheck(0, nil)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 20 {
+		t.Fatalf("resume fired up to %d events, want 20", fired)
+	}
+}
+
+func TestKernelStopCheckFalseDoesNotStop(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	for i := 1; i <= 9; i++ {
+		k.Schedule(Time(i), PriorityDefault, func() { fired++ })
+	}
+	polls := 0
+	k.SetStopCheck(2, func() bool { polls++; return false })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 9 || polls != 4 {
+		t.Fatalf("fired %d events with %d polls, want 9 and 4", fired, polls)
+	}
+}
+
+func TestKernelRunUntilClampsToHorizon(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, tm := range []Time{10, 20, 30} {
+		tm := tm
+		k.Schedule(tm, PriorityDefault, func() { got = append(got, tm) })
+	}
+	k.SetHorizon(25)
+	// RunUntil past the horizon is clamped: events at 30 stay queued and
+	// the clock parks at the horizon, not the requested time.
+	if err := k.RunUntil(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("fired %d events, want 2", len(got))
+	}
+	if k.Now() != 25 {
+		t.Fatalf("clock at %v, want horizon 25", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("%d events pending, want 1", k.Pending())
+	}
+}
+
+func TestKernelRunUntilStoppedDoesNotAdvanceClock(t *testing.T) {
+	k := NewKernel()
+	for i := 1; i <= 6; i++ {
+		k.Schedule(Time(i), PriorityDefault, func() {})
+	}
+	k.SetStopCheck(2, func() bool { return true })
+	if err := k.RunUntil(50); err != ErrStopped {
+		t.Fatalf("RunUntil returned %v, want ErrStopped", err)
+	}
+	if k.Now() != 2 {
+		t.Fatalf("clock at %v after stop, want 2 (time of the last fired event)", k.Now())
+	}
+	// Resuming to the same target finishes the job and then advances the
+	// idle clock to the target.
+	k.SetStopCheck(0, nil)
+	if err := k.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 50 {
+		t.Fatalf("clock at %v after resume, want 50", k.Now())
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 )
@@ -31,41 +33,65 @@ func resolveWorkers(workers, n int) int {
 // workers <= 1 (or a single cell) everything runs inline on the caller's
 // goroutine.
 func runIndexed[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	if n == 0 {
-		return out, nil
-	}
-	workers = resolveWorkers(workers, n)
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			var err error
-			if out[i], err = fn(i); err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	}
-	errs := make([]error, n)
-	next := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i], errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	out, _, err := runIndexedCtx(context.Background(), workers, n,
+		func(_ context.Context, i int) (T, error) { return fn(i) })
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// runIndexedCtx is runIndexed with cooperative cancellation: once ctx is
+// done no further cell is dispatched, and in-flight cells receive the ctx
+// so they can stop mid-simulation. It returns the per-cell results, a
+// bitmap of cells that completed without error, and the first real error
+// in index order. Cell errors caused by the cancellation itself (errors
+// wrapping ctx.Err()) are attributed to the cancellation, not the cell:
+// when no cell genuinely failed, the returned error is ctx.Err() — nil
+// for a run that was never cancelled. Completed cells in the result slice
+// stay valid either way, so callers can flush partial grids.
+func runIndexedCtx[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, []bool, error) {
+	out := make([]T, n)
+	done := make([]bool, n)
+	if n == 0 {
+		return out, done, ctx.Err()
+	}
+	errs := make([]error, n)
+	workers = resolveWorkers(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			out[i], errs[i] = fn(ctx, i)
+			done[i] = errs[i] == nil
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i], errs[i] = fn(ctx, i)
+					done[i] = errs[i] == nil
+				}
+			}()
+		}
+	dispatch:
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(next)
+		wg.Wait()
+	}
+	cancelled := ctx.Err()
+	for _, err := range errs {
+		if err != nil && !(cancelled != nil && errors.Is(err, cancelled)) {
+			return out, done, err
+		}
+	}
+	return out, done, cancelled
 }

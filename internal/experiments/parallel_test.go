@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -125,5 +126,112 @@ func TestSweepParallelEquivalence(t *testing.T) {
 	}
 	if aggSeq.Runs != len(seq) || aggSeq.Kernel.Fired == 0 {
 		t.Errorf("aggregate implausible: %+v", aggSeq)
+	}
+}
+
+// runIndexedCtx must stop dispatching once the context is cancelled,
+// report which cells completed, and return ctx.Err() — while attributing
+// cell errors that merely wrap the cancellation to the cancellation, not
+// the cell.
+func TestRunIndexedCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		out, done, err := runIndexedCtx(ctx, workers, 64, func(ctx context.Context, i int) (int, error) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			if ctx.Err() != nil {
+				return 0, fmt.Errorf("cell %d: %w", i, ctx.Err())
+			}
+			return i, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if int(ran.Load()) >= 64 {
+			t.Errorf("workers=%d: all 64 cells dispatched despite cancellation", workers)
+		}
+		completed := 0
+		for i, d := range done {
+			if d {
+				completed++
+				if out[i] != i {
+					t.Errorf("workers=%d: done cell %d has value %d", workers, i, out[i])
+				}
+			}
+		}
+		if completed == 0 {
+			t.Errorf("workers=%d: no cell completed before cancellation", workers)
+		}
+	}
+}
+
+// A genuine cell failure beats the cancellation in the returned error.
+func TestRunIndexedCtxRealErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, _, err := runIndexedCtx(ctx, 4, 16, func(ctx context.Context, i int) (int, error) {
+		if i == 2 {
+			cancel()
+			return 0, boom
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the cell failure", err)
+	}
+}
+
+// TestSweepContextPartialFlush pins the interrupt contract of sweeps:
+// cancelling mid-grid yields the completed cells (bit-identical to the
+// same cells of a full run) plus ctx.Err().
+func TestSweepContextPartialFlush(t *testing.T) {
+	cfg := SweepConfig{
+		Algorithms: []string{"easy", "adaptive"},
+		Shares:     []float64{0, 1},
+		Seeds:      []uint64{7},
+		Jobs:       15,
+		Nodes:      32,
+		Workers:    1,
+	}
+	full, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cells := 0
+	cfgCancel := cfg
+	cfgCancel.OnCellDone = func() {
+		if cells++; cells == 2 {
+			cancel()
+		}
+	}
+	pts, done, err := SweepContext(ctx, cfgCancel)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(pts) != len(full) || len(done) != len(full) {
+		t.Fatalf("partial sweep sized %d/%d, want full grid shape %d", len(pts), len(done), len(full))
+	}
+	completed := 0
+	for i, d := range done {
+		if !d {
+			continue
+		}
+		completed++
+		if pts[i].Summary != full[i].Summary || pts[i].Events != full[i].Events {
+			t.Errorf("cell %d diverges between partial and full sweep", i)
+		}
+	}
+	if completed < 2 || completed >= len(full) {
+		t.Errorf("completed %d cells, want a strict subset of %d with at least 2", completed, len(full))
 	}
 }

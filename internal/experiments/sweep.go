@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -82,6 +83,20 @@ func (c *SweepConfig) withDefaults() SweepConfig {
 // pool (cfg.Workers); the returned points are in grid order and
 // bit-identical to a sequential run.
 func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
+	pts, _, err := SweepContext(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// SweepContext is Sweep with cooperative cancellation. Once ctx is done,
+// no further cell starts and in-flight simulations stop between events
+// (each cell runs through an elastisim.Session driven by ctx). It returns
+// every point computed so far — cells that completed are valid in grid
+// order, the done bitmap says which — plus ctx.Err() when the sweep was
+// cut short, so callers can flush partial grids on interrupt.
+func SweepContext(ctx context.Context, cfg SweepConfig) ([]SweepPoint, []bool, error) {
 	cfg = cfg.withDefaults()
 	type cell struct {
 		algorithm string
@@ -96,7 +111,7 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 			}
 		}
 	}
-	return runIndexed(cfg.Workers, len(cells), func(i int) (SweepPoint, error) {
+	return runIndexedCtx(ctx, cfg.Workers, len(cells), func(ctx context.Context, i int) (SweepPoint, error) {
 		c := cells[i]
 		algo, err := elastisim.NewAlgorithm(c.algorithm)
 		if err != nil {
@@ -120,11 +135,15 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 		if err != nil {
 			return SweepPoint{}, err
 		}
-		res, err := mustRun(elastisim.Config{
+		s, err := elastisim.NewSession(elastisim.Config{
 			Platform:  StandardPlatform(cfg.Nodes),
 			Workload:  wl,
 			Algorithm: algo,
 		})
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("sweep cell (%s, %.2f, %d): %w", c.algorithm, c.share, c.seed, err)
+		}
+		res, err := s.Run(ctx)
 		if err != nil {
 			return SweepPoint{}, fmt.Errorf("sweep cell (%s, %.2f, %d): %w", c.algorithm, c.share, c.seed, err)
 		}

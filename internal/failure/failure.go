@@ -150,6 +150,12 @@ func (s *Spec) Validate() error {
 			if o.Node < 0 {
 				return fmt.Errorf("failure: outage %d has negative node %d", i, o.Node)
 			}
+			if down := float64(o.Down); math.IsNaN(down) || math.IsInf(down, 0) {
+				return fmt.Errorf("failure: outage %d has non-finite down time %v", i, down)
+			}
+			if up := float64(o.Up); math.IsNaN(up) || math.IsInf(up, 0) {
+				return fmt.Errorf("failure: outage %d has non-finite up time %v", i, up)
+			}
 			if o.Down < 0 {
 				return fmt.Errorf("failure: outage %d has negative down time", i)
 			}
@@ -174,6 +180,28 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// ValidateFor checks the spec both structurally and against a machine of
+// numNodes nodes, so that a scripted outage naming a node the platform
+// does not have is a config-time error — not a panic deep inside the
+// engine's node accounting once the outage fires.
+func (s *Spec) ValidateFor(numNodes int) error {
+	if !s.Enabled() {
+		return nil
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if numNodes <= 0 {
+		return fmt.Errorf("failure: machine with %d nodes", numNodes)
+	}
+	for i, o := range s.Outages {
+		if o.Node >= numNodes {
+			return fmt.Errorf("failure: outage %d names node %d, machine has %d", i, o.Node, numNodes)
+		}
+	}
+	return nil
+}
+
 // window is one outage interval.
 type window struct{ down, up float64 }
 
@@ -193,21 +221,15 @@ func NewInjector(spec *Spec, numNodes int) (*Injector, error) {
 	if !spec.Enabled() {
 		return nil, nil
 	}
-	if err := spec.Validate(); err != nil {
+	if err := spec.ValidateFor(numNodes); err != nil {
 		return nil, err
-	}
-	if numNodes <= 0 {
-		return nil, fmt.Errorf("failure: machine with %d nodes", numNodes)
 	}
 	in := &Injector{spec: *spec}
 	switch spec.Model {
 	case ModelTrace:
 		in.scripted = make([][]window, numNodes)
 		in.pos = make([]int, numNodes)
-		for i, o := range spec.Outages {
-			if o.Node >= numNodes {
-				return nil, fmt.Errorf("failure: outage %d names node %d, machine has %d", i, o.Node, numNodes)
-			}
+		for _, o := range spec.Outages {
 			in.scripted[o.Node] = append(in.scripted[o.Node], window{float64(o.Down), float64(o.Up)})
 		}
 		for n := range in.scripted {

@@ -2,6 +2,7 @@ package failure
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/unit"
@@ -216,5 +217,51 @@ func TestDefaults(t *testing.T) {
 	}
 	if (&Spec{}).Enabled() || (*Spec)(nil).Enabled() {
 		t.Error("empty spec reports enabled")
+	}
+}
+
+func TestValidateForReportsNodeAndMachineSize(t *testing.T) {
+	s := &Spec{Model: ModelTrace, Outages: []Outage{
+		{Node: 2, Down: 1, Up: 2},
+		{Node: 12, Down: 5, Up: 9},
+	}}
+	err := s.ValidateFor(8)
+	if err == nil {
+		t.Fatal("outage naming node 12 on an 8-node machine validated")
+	}
+	for _, want := range []string{"outage 1", "node 12", "machine has 8"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if err := s.ValidateFor(13); err != nil {
+		t.Errorf("same spec on a 13-node machine: %v", err)
+	}
+	if err := s.ValidateFor(0); err == nil {
+		t.Error("zero-node machine validated")
+	}
+}
+
+func TestValidateForSkipsStructuralChecksWhenDisabled(t *testing.T) {
+	for _, s := range []*Spec{nil, {}} {
+		if err := s.ValidateFor(0); err != nil {
+			t.Errorf("disabled spec %v: %v", s, err)
+		}
+	}
+}
+
+func TestValidateRejectsNonFiniteTimes(t *testing.T) {
+	nan, inf := unit.Quantity(math.NaN()), unit.Quantity(math.Inf(1))
+	bad := []*Spec{
+		{Model: ModelExponential, MTBF: nan, MTTR: 60},
+		{Model: ModelExponential, MTBF: 1000, MTTR: inf},
+		{Model: ModelWeibull, MTBF: inf, MTTR: 60, Shape: 1},
+		{Model: ModelTrace, Outages: []Outage{{Node: 0, Down: nan, Up: 2}}},
+		{Model: ModelTrace, Outages: []Outage{{Node: 0, Down: 1, Up: inf}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("non-finite spec %d validated", i)
+		}
 	}
 }

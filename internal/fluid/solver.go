@@ -41,12 +41,6 @@ import (
 	"repro/internal/des"
 )
 
-// ForceFullSolve, when set before pools are created, disables incremental
-// component solving: every state change re-solves every component. It is a
-// debug/benchmark knob — results are bit-identical either way — and is
-// read once at NewPool; use Pool.SetForceFullSolve for per-pool control.
-var ForceFullSolve bool
-
 // Fairness selects how contended capacity is divided.
 type Fairness int
 
@@ -205,9 +199,12 @@ type Pool struct {
 	elided      uint64
 }
 
-// NewPool creates a pool bound to the kernel.
+// NewPool creates a pool bound to the kernel. Pools share no state with
+// each other — any number of simulations can run concurrently in one
+// process — so the full-recompute debug mode is strictly per-pool
+// (SetForceFullSolve), never a process-wide switch.
 func NewPool(k *des.Kernel) *Pool {
-	return &Pool{kernel: k, epsilon: 1e-9, forceFull: ForceFullSolve}
+	return &Pool{kernel: k, epsilon: 1e-9}
 }
 
 // SetFairness selects the sharing policy. Call before starting activities.
