@@ -6,6 +6,13 @@
 //	elastisim -platform cluster.json -workload jobs.json [-algorithm adaptive]
 //	          [-interval 0] [-jobs-csv jobs.csv] [-util-csv util.csv]
 //	          [-gantt gantt.json] [-trace] [-v]
+//	elastisim -config combined.json [-result-json result.json]
+//
+// -config accepts the combined document elastisimd serves (platform,
+// workload, algorithm, failures, and options in one JSON file);
+// -result-json writes the canonical deterministic result document, which
+// is byte-comparable with the daemon's /result artifact for the same
+// config.
 //
 // Observability flags: -trace-out streams a Chrome trace_event JSON file
 // (load it in Perfetto or chrome://tracing), -trace-jsonl a line-delimited
@@ -39,8 +46,9 @@ func main() { cli.Main("elastisim", run) }
 
 func run(ctx context.Context) error {
 	var (
-		platformPath = flag.String("platform", "", "platform JSON file (required)")
-		workloadPath = flag.String("workload", "", "workload JSON file (required unless -swf)")
+		configPath   = flag.String("config", "", "combined config JSON (platform, workload, algorithm, options in one document); replaces -platform/-workload/-algorithm")
+		platformPath = flag.String("platform", "", "platform JSON file (required unless -config)")
+		workloadPath = flag.String("workload", "", "workload JSON file (required unless -config or -swf)")
 		swfPath      = flag.String("swf", "", "SWF trace instead of a JSON workload")
 		swfSpeed     = flag.Float64("swf-node-speed", 100e9, "node speed (flops/s) for SWF calibration")
 		swfCores     = flag.Int("swf-cores-per-node", 1, "cores per node for SWF processor counts")
@@ -50,6 +58,7 @@ func run(ctx context.Context) error {
 		external     = flag.String("external", "", "run an external scheduler process (command line) speaking the JSON stdio protocol; overrides -algorithm")
 		interval     = flag.Float64("interval", 0, "periodic scheduler invocation interval in seconds (0 = event-driven only)")
 		periodicOnly = flag.Bool("periodic-only", false, "disable event-driven invocations (requires -interval)")
+		resultJSON   = flag.String("result-json", "", "write the canonical result JSON document to this path")
 		jobsCSV      = flag.String("jobs-csv", "", "write per-job results CSV to this path")
 		utilCSV      = flag.String("util-csv", "", "write the busy-nodes timeline CSV to this path")
 		ganttJSON    = flag.String("gantt", "", "write allocation segments JSON to this path")
@@ -74,39 +83,66 @@ func run(ctx context.Context) error {
 		fmt.Print(formatExamples)
 		return nil
 	}
-	if *platformPath == "" || (*workloadPath == "" && *swfPath == "") {
+	if *configPath == "" && (*platformPath == "" || (*workloadPath == "" && *swfPath == "")) {
 		flag.Usage()
 		return cli.ErrUsage
 	}
 
-	spec, err := elastisim.LoadPlatform(*platformPath)
-	if err != nil {
-		return err
-	}
-	var wl *elastisim.Workload
-	if *swfPath != "" {
-		wl, err = elastisim.LoadSWF(*swfPath, elastisim.SWFOptions{
-			NodeSpeed:         *swfSpeed,
-			CoresPerNode:      *swfCores,
-			MaxJobs:           *swfMaxJobs,
-			MaxNodes:          spec.TotalNodes(),
-			MalleableFraction: *swfMalleable,
-		})
+	var (
+		spec     *elastisim.PlatformSpec
+		wl       *elastisim.Workload
+		algo     elastisim.Algorithm
+		failures *elastisim.FailureSpec
+		opts     elastisim.Options
+		extProc  *extsched.Process
+		err      error
+	)
+	if *configPath != "" {
+		// A combined document — the same format elastisimd accepts —
+		// carries platform, workload, algorithm, failures, and engine
+		// options in one file. CLI observability flags still apply.
+		data, rerr := os.ReadFile(*configPath)
+		if rerr != nil {
+			return rerr
+		}
+		cfg, perr := elastisim.ParseConfig(data)
+		if perr != nil {
+			return perr
+		}
+		spec, wl, algo, failures, opts = cfg.Platform, cfg.Workload, cfg.Algorithm, cfg.Failures, cfg.Options
+		opts.Trace = opts.Trace || *trace
 	} else {
-		wl, err = elastisim.LoadWorkload(*workloadPath, spec.TotalNodes())
+		spec, err = elastisim.LoadPlatform(*platformPath)
+		if err != nil {
+			return err
+		}
+		if *swfPath != "" {
+			wl, err = elastisim.LoadSWF(*swfPath, elastisim.SWFOptions{
+				NodeSpeed:         *swfSpeed,
+				CoresPerNode:      *swfCores,
+				MaxJobs:           *swfMaxJobs,
+				MaxNodes:          spec.TotalNodes(),
+				MalleableFraction: *swfMalleable,
+			})
+		} else {
+			wl, err = elastisim.LoadWorkload(*workloadPath, spec.TotalNodes())
+		}
+		if err != nil {
+			return err
+		}
+		opts = elastisim.Options{
+			InvocationInterval: *interval,
+			DisableEventDriven: *periodicOnly,
+			Trace:              *trace,
+		}
 	}
-	if err != nil {
-		return err
-	}
-	var algo elastisim.Algorithm
-	var extProc *extsched.Process
 	if *external != "" {
 		extProc, err = extsched.StartProcess(strings.Fields(*external))
 		if err != nil {
 			return err
 		}
 		algo = extProc
-	} else {
+	} else if algo == nil {
 		algo, err = elastisim.NewAlgorithm(*algoName)
 		if err != nil {
 			return err
@@ -124,11 +160,6 @@ func run(ctx context.Context) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := elastisim.Options{
-		InvocationInterval: *interval,
-		DisableEventDriven: *periodicOnly,
-		Trace:              *trace,
-	}
 	tracer, closeTel, err := setupTelemetry(*traceOut, *traceJSONL, *auditOut)
 	if err != nil {
 		return err
@@ -141,6 +172,7 @@ func run(ctx context.Context) error {
 		Platform:  spec,
 		Workload:  wl,
 		Algorithm: algo,
+		Failures:  failures,
 		Options:   opts,
 	})
 	if err != nil {
@@ -225,6 +257,11 @@ func run(ctx context.Context) error {
 	}
 	for _, w := range res.Warnings {
 		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+	if *resultJSON != "" {
+		if err := writeFile(*resultJSON, res.WriteJSON); err != nil {
+			return err
+		}
 	}
 	if *jobsCSV != "" {
 		if err := writeFile(*jobsCSV, res.Recorder.WriteJobsCSV); err != nil {

@@ -1,0 +1,118 @@
+// Command elastisimd runs the simulator as a service: a REST API where
+// each submitted configuration becomes a journaled job executed by a
+// worker pool, observable live over SSE and steerable with
+// pause/resume/step/cancel.
+//
+// Usage:
+//
+//	elastisimd [-addr 127.0.0.1:9178] [-data elastisim-data]
+//	           [-workers 0] [-lease 30s]
+//
+// State lives under -data: jobs/journal.jsonl records every job
+// transition (a restarted daemon recovers queued and completed jobs from
+// it, re-running only work that was interrupted), and jobs/<id>/ holds
+// each job's artifacts (result.json, gantt.svg, trace.json).
+//
+// On SIGINT/SIGTERM the daemon stops accepting requests, interrupts
+// running simulations between event slices, journals their partial
+// progress so the next start re-runs them, and flushes the journal.
+//
+// The API is documented in the README ("Running as a service"):
+//
+//	POST /v1/sessions              GET /v1/sessions
+//	GET  /v1/sessions/{id}         GET /v1/sessions/{id}/events   (SSE)
+//	POST /v1/sessions/{id}/pause   POST /v1/sessions/{id}/resume
+//	POST /v1/sessions/{id}/step    POST /v1/sessions/{id}/cancel
+//	GET  /v1/sessions/{id}/result  GET /v1/sessions/{id}/gantt.svg
+//	GET  /v1/sessions/{id}/trace
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/httpapi"
+	"repro/internal/jobqueue"
+)
+
+func main() { cli.Main("elastisimd", run) }
+
+func run(ctx context.Context) error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9178", "listen address")
+		dataDir = flag.String("data", "elastisim-data", "state directory (journal + job artifacts)")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		lease   = flag.Duration("lease", 30*time.Second, "job lease duration (claims lapse without heartbeats)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		flag.Usage()
+		return cli.ErrUsage
+	}
+
+	if err := os.MkdirAll(filepath.Join(*dataDir, "jobs"), 0o755); err != nil {
+		return err
+	}
+	queue, err := jobqueue.Open(filepath.Join(*dataDir, "jobs", "journal.jsonl"), jobqueue.Options{Lease: *lease})
+	if err != nil {
+		return err
+	}
+	server := httpapi.New(queue, *dataDir)
+	pool := jobqueue.NewPool(queue, *workers, server.RunJob)
+
+	poolCtx, stopPool := context.WithCancel(context.Background())
+	defer stopPool()
+	pool.Start(poolCtx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		queue.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: server.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	counts := queue.Counts()
+	recovered := counts[jobqueue.StatePending]
+	kept := counts[jobqueue.StateDone] + counts[jobqueue.StateFailed] + counts[jobqueue.StateCancelled]
+	fmt.Fprintf(os.Stderr, "elastisimd: listening on http://%s (%d workers, %d queued, %d finished jobs recovered)\n",
+		ln.Addr(), pool.Workers(), recovered, kept)
+
+	select {
+	case err := <-serveErr:
+		stopPool()
+		pool.Wait()
+		queue.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting requests, then interrupt running
+	// simulations — each worker journals its job's partial progress and
+	// requeues it — and flush the journal last.
+	fmt.Fprintln(os.Stderr, "elastisimd: shutting down, draining running sessions")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	serr := httpSrv.Shutdown(shutCtx)
+	if errors.Is(serr, context.DeadlineExceeded) {
+		serr = httpSrv.Close()
+	}
+	stopPool()
+	pool.Wait()
+	if cerr := queue.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return serr
+	}
+	return ctx.Err()
+}

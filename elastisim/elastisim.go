@@ -122,6 +122,15 @@ type (
 	AuditLog = telemetry.AuditLog
 	// RunProgress is the opt-in live progress ticker (Options.Progress).
 	RunProgress = telemetry.RunProgress
+	// Progress is the sink interface Options.Progress accepts: a
+	// RunProgress terminal ticker or a ProgressFanOut broadcaster.
+	Progress = telemetry.Progress
+	// ProgressFanOut broadcasts one run's progress stream to any number
+	// of concurrent subscribers (SSE streams, pollers); attach via
+	// Options.Progress.
+	ProgressFanOut = telemetry.ProgressFanOut
+	// ProgressUpdate is one sampled progress point of a ProgressFanOut.
+	ProgressUpdate = telemetry.ProgressUpdate
 )
 
 // NoJob marks machine-level trace events (node down/up), which carry the
@@ -238,16 +247,12 @@ func Run(cfg Config) (*Result, error) {
 // chart: one colored band per job, reconfigurations marked at segment
 // boundaries, and node failure/repair intervals overlaid as hatched bands.
 func (r *Result) WriteGanttSVG(w io.Writer, title string) error {
-	return viz.Gantt(w, r.Recorder.Gantt(), r.Recorder.TotalNodes(), viz.Options{
-		Title:   title,
-		Outages: r.Recorder.Outages(),
-	})
+	return viz.WriteGantt(w, r.Recorder, viz.Options{Title: title})
 }
 
 // WriteUtilizationSVG renders the busy-nodes timeline as an SVG step plot.
 func (r *Result) WriteUtilizationSVG(w io.Writer, title string) error {
-	return viz.Timeline(w, r.Recorder.BusyTimeline(), "busy nodes",
-		float64(r.Recorder.TotalNodes()), viz.Options{Title: title})
+	return viz.WriteUtilization(w, r.Recorder, viz.Options{Title: title})
 }
 
 // EstimateRuntime computes a job's contention-free analytic runtime on n

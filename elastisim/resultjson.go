@@ -1,0 +1,62 @@
+package elastisim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// resultDoc is the canonical JSON form of a Result: every deterministic
+// field of the run, and nothing machine-dependent. Wall-clock time and the
+// self-profiling snapshot are deliberately excluded so that two runs of the
+// same configuration — on different machines, through different drivers
+// (one-shot CLI, stepped session, elastisimd worker) — produce byte-
+// identical documents. The daemon's end-to-end test pins exactly that.
+type resultDoc struct {
+	Summary          Summary      `json:"summary"`
+	Records          []*JobRecord `json:"records"`
+	Invocations      uint64       `json:"invocations"`
+	Decisions        uint64       `json:"decisions"`
+	Events           uint64       `json:"events"`
+	Solves           uint64       `json:"solves"`
+	SolvedActivities uint64       `json:"solved_activities"`
+	Warnings         []string     `json:"warnings,omitempty"`
+	Abort            string       `json:"abort"`
+}
+
+// WriteJSON writes the canonical, deterministic JSON document of the
+// result: summary, per-job records, scheduler and simulator counters, and
+// the abort reason. Machine-dependent measurements (wall clock, profiling
+// snapshot) are excluded, so identical simulations yield identical bytes
+// regardless of host or driver.
+func (r *Result) WriteJSON(w io.Writer) error {
+	doc := resultDoc{
+		Summary:          r.Summary,
+		Records:          r.Records,
+		Invocations:      r.Invocations,
+		Decisions:        r.Decisions,
+		Events:           r.Events,
+		Solves:           r.Solves,
+		SolvedActivities: r.SolvedActivities,
+		Warnings:         r.Warnings,
+		Abort:            r.Abort.String(),
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// UnmarshalResultSummary decodes the summary and counters back out of a
+// canonical result document (the inverse of WriteJSON for the aggregate
+// fields; per-job records are returned as-is).
+func UnmarshalResultSummary(data []byte) (Summary, []*JobRecord, error) {
+	var doc resultDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Summary{}, nil, fmt.Errorf("elastisim: decoding result: %w", err)
+	}
+	return doc.Summary, doc.Records, nil
+}

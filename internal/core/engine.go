@@ -74,9 +74,11 @@ type Options struct {
 	// stream to the tracer's sinks; an attached audit log records every
 	// scheduler invocation. Telemetry never alters simulation outputs.
 	Telemetry *telemetry.Tracer
-	// Progress attaches a live stderr ticker driven from the kernel's
-	// event loop (nil = disabled).
-	Progress *telemetry.RunProgress
+	// Progress attaches a live progress sink driven from the kernel's
+	// event loop (nil = disabled): a telemetry.RunProgress for a stderr
+	// ticker, or a telemetry.ProgressFanOut to broadcast to multiple
+	// concurrent observers.
+	Progress telemetry.Progress
 }
 
 // Engine is a single-run batch-system simulator. Create with New, run with

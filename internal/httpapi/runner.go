@@ -1,0 +1,218 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/elastisim"
+	"repro/internal/jobqueue"
+)
+
+// stepChunk bounds how many events one Step slice executes. The session
+// mutex is held for the duration of a slice, so the chunk size is the
+// latency bound on Peek, pause, and cancel: small enough that control
+// interleaves promptly, large enough that the mutex round-trip is noise.
+const stepChunk = 4096
+
+// liveRun is the in-memory side of an executing job: the session (for
+// Peek), the progress fan-out (for SSE subscribers), and the control
+// channel the HTTP handlers use to reach the worker between Step slices.
+type liveRun struct {
+	session *elastisim.Session
+	fan     *elastisim.ProgressFanOut
+	ctrl    chan ctrlMsg
+}
+
+type ctrlOp string
+
+const (
+	opPause  ctrlOp = "pause"
+	opResume ctrlOp = "resume"
+	opStep   ctrlOp = "step"
+)
+
+type ctrlMsg struct {
+	op    ctrlOp
+	n     int        // opStep: number of events
+	reply chan error // closed/sent once the worker applied the op
+}
+
+// RunJob is the jobqueue.Runner that executes one simulation job: it
+// parses the journaled config, drives a Session in bounded Step slices —
+// so Peek, SSE progress, and pause/resume/cancel control interleave
+// between slices — and writes the result artifacts under the server's
+// data directory. The artifact directory path becomes the job's Result.
+func (s *Server) RunJob(ctx context.Context, q *jobqueue.Queue, job jobqueue.Job) (string, error) {
+	cfg, err := elastisim.ParseConfig(job.Config)
+	if err != nil {
+		return "", fmt.Errorf("invalid config: %w", err)
+	}
+	fan := &elastisim.ProgressFanOut{}
+	cfg.Options.Progress = fan
+	session, err := elastisim.NewSession(cfg)
+	if err != nil {
+		return "", err
+	}
+	lr := &liveRun{session: session, fan: fan, ctrl: make(chan ctrlMsg, 16)}
+	s.register(job.ID, lr)
+	defer s.deregister(job.ID)
+	defer fan.Done() // idempotent; covers error paths before the engine's own Done
+
+	if err := q.MarkRunning(job.ID, job.Worker); err != nil {
+		return "", err
+	}
+
+	paused := false
+	for {
+		// Apply queued control requests first so a pause or cancel never
+		// waits behind another full chunk.
+		for applied := true; applied; {
+			select {
+			case msg := <-lr.ctrl:
+				s.applyCtrl(q, job, msg, &paused)
+			default:
+				applied = false
+			}
+		}
+		if s.cancelRequested(job.ID) {
+			dir, werr := s.writeArtifacts(job.ID, session, cfg)
+			if werr != nil {
+				dir = ""
+			}
+			if err := q.FinishCancelled(job.ID, job.Worker, dir); err != nil {
+				return "", err
+			}
+			return "", jobqueue.ErrFinished
+		}
+		if ctx.Err() != nil {
+			// Shutdown: journal how far we got and requeue. Partial
+			// artifacts are flushed too, so operators can inspect the
+			// interrupted run; a restart re-runs the job from scratch.
+			p := session.Peek()
+			_, _ = s.writeArtifacts(job.ID, session, cfg)
+			return "", fmt.Errorf("interrupted at sim t=%.3fs after %d events (%d/%d jobs): %w",
+				p.Now, p.Events, p.Completed, p.Total, jobqueue.ErrInterrupted)
+		}
+		if paused {
+			// Parked: keep the lease alive and wait for control.
+			select {
+			case msg := <-lr.ctrl:
+				s.applyCtrl(q, job, msg, &paused)
+			case <-ctx.Done():
+			case <-time.After(s.pausePoll):
+				_ = q.Heartbeat(job.ID, job.Worker)
+			}
+			continue
+		}
+		fired, err := session.Step(s.chunk)
+		if err != nil {
+			return "", err
+		}
+		_ = q.Heartbeat(job.ID, job.Worker)
+		if fired == 0 {
+			break // drained (or horizon): the simulation cannot advance
+		}
+		if s.chunkDelay > 0 {
+			time.Sleep(s.chunkDelay)
+		}
+	}
+
+	if _, err := session.Result(); err != nil {
+		return "", err
+	}
+	return s.writeArtifacts(job.ID, session, cfg)
+}
+
+// applyCtrl executes one control request on behalf of the worker.
+func (s *Server) applyCtrl(q *jobqueue.Queue, job jobqueue.Job, msg ctrlMsg, paused *bool) {
+	var err error
+	switch msg.op {
+	case opPause:
+		if !*paused {
+			err = q.MarkPaused(job.ID, job.Worker)
+			*paused = err == nil
+		}
+	case opResume:
+		if *paused {
+			err = q.MarkRunning(job.ID, job.Worker)
+			if err == nil {
+				*paused = false
+			}
+		}
+	case opStep:
+		if !*paused {
+			err = fmt.Errorf("job %s is not paused", job.ID)
+			break
+		}
+		n := msg.n
+		if n <= 0 {
+			n = 1
+		}
+		_, err = s.liveSession(job.ID).Step(n)
+		_ = q.Heartbeat(job.ID, job.Worker)
+	default:
+		err = fmt.Errorf("unknown control op %q", msg.op)
+	}
+	if msg.reply != nil {
+		msg.reply <- err
+	}
+}
+
+// liveSession returns the registered session for id (nil if gone).
+func (s *Server) liveSession(id string) *elastisim.Session {
+	if lr := s.liveRun(id); lr != nil {
+		return lr.session
+	}
+	return nil
+}
+
+// writeArtifacts flushes the session's current result to
+// dataDir/jobs/<id>/: result.json always, gantt.svg always, and
+// trace.json when the config enabled event tracing. It returns the
+// artifact directory. Called both at completion and — with a partial
+// result — on cancel and shutdown.
+func (s *Server) writeArtifacts(id string, session *elastisim.Session, cfg elastisim.Config) (string, error) {
+	res, err := session.Result()
+	if err != nil {
+		return "", err
+	}
+	dir := filepath.Join(s.dataDir, "jobs", id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := writeFile(filepath.Join(dir, "result.json"), res.WriteJSON); err != nil {
+		return "", err
+	}
+	if err := writeFile(filepath.Join(dir, "gantt.svg"), func(w io.Writer) error {
+		return res.WriteGanttSVG(w, "job "+id)
+	}); err != nil {
+		return "", err
+	}
+	if cfg.Options.Trace && len(res.Trace) > 0 {
+		if err := writeFile(filepath.Join(dir, "trace.json"), func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res.Trace)
+		}); err != nil {
+			return "", err
+		}
+	}
+	return dir, nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

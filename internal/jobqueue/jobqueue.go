@@ -1,0 +1,464 @@
+// Package jobqueue is a store-backed job engine for simulation-as-a-
+// service: typed job states, worker claiming with lease + heartbeat
+// semantics, and a JSONL journal that lets a restarted daemon recover
+// queued and completed jobs without re-running finished work.
+//
+// The lifecycle is a small state machine:
+//
+//	pending ──claim──▶ claimed ──start──▶ running ◀─pause/resume─▶ paused
+//	   ▲                  │                  │                        │
+//	   └──lease expiry / release────────────┴───────┐                │
+//	                                                 ▼                ▼
+//	                                      done / failed / cancelled (terminal)
+//
+// Claims carry a lease: a worker that stops heartbeating (crashed, hung,
+// killed) loses the job, which returns to pending for another worker.
+// Every transition is journaled; Open replays the journal, requeues jobs
+// that were mid-flight when the previous process died, and keeps terminal
+// jobs (and their result pointers) without re-running them.
+package jobqueue
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// The job states. Pending jobs are claimable; claimed/running/paused jobs
+// belong to a worker under a lease; done/failed/cancelled are terminal.
+const (
+	StatePending   State = "pending"
+	StateClaimed   State = "claimed"
+	StateRunning   State = "running"
+	StatePaused    State = "paused"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Active reports whether a worker currently owns the job.
+func (s State) Active() bool {
+	return s == StateClaimed || s == StateRunning || s == StatePaused
+}
+
+// Valid reports whether s is one of the defined states.
+func (s State) Valid() bool {
+	switch s {
+	case StatePending, StateClaimed, StateRunning, StatePaused,
+		StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Job is one unit of work: an opaque config payload plus lifecycle
+// bookkeeping. Methods on Queue return copies; mutate only through Queue.
+type Job struct {
+	// ID is assigned by Submit ("j000001", dense per queue lifetime).
+	ID string `json:"id"`
+	// State is the current lifecycle state.
+	State State `json:"state"`
+	// Config is the opaque payload (for elastisimd, a combined
+	// simulation document).
+	Config json.RawMessage `json:"config,omitempty"`
+	// Submitted/Started/Finished are wall-clock transition times; Started
+	// and Finished are zero until the transition happened.
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+	// Worker names the claim holder while the job is active.
+	Worker string `json:"worker,omitempty"`
+	// Lease is when the current claim expires unless renewed by
+	// Heartbeat. Expired claims are requeued.
+	Lease time.Time `json:"lease,omitempty"`
+	// Attempts counts claims, including requeues after lost leases.
+	Attempts int `json:"attempts,omitempty"`
+	// Error holds the failure message for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is an opaque pointer to the job's artifacts (for elastisimd,
+	// the artifact directory), set by Finish.
+	Result string `json:"result,omitempty"`
+	// Note carries auxiliary lifecycle information, e.g. partial-progress
+	// details journaled when a shutdown interrupted the job.
+	Note string `json:"note,omitempty"`
+}
+
+// Options tunes a Queue.
+type Options struct {
+	// Lease is how long a claim stays valid without a heartbeat
+	// (default 30s).
+	Lease time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lease <= 0 {
+		o.Lease = 30 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Queue is an in-memory job store with optional journal persistence. All
+// methods are safe for concurrent use; hundreds of submitters and a
+// worker pool can share one Queue.
+type Queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*Job
+	order   []string // submission order
+	seq     uint64
+	journal *journal
+	opts    Options
+	closed  bool
+}
+
+// New creates a memory-only queue (no journal).
+func New(opts Options) *Queue {
+	q := &Queue{jobs: make(map[string]*Job), opts: opts.withDefaults()}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Open creates a queue journaled at path, replaying any existing journal
+// first: terminal jobs are kept (with their result pointers) and are
+// never re-run; jobs that were claimed, running, or paused when the
+// previous process died return to pending. The journal is compacted on
+// open.
+func Open(path string, opts Options) (*Queue, error) {
+	q := New(opts)
+	jobs, maxSeq, err := replayJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		q.jobs[j.ID] = j
+		q.order = append(q.order, j.ID)
+	}
+	sort.Slice(q.order, func(i, k int) bool {
+		return q.jobs[q.order[i]].Submitted.Before(q.jobs[q.order[k]].Submitted) ||
+			(q.jobs[q.order[i]].Submitted.Equal(q.jobs[q.order[k]].Submitted) &&
+				q.order[i] < q.order[k])
+	})
+	q.seq = maxSeq
+	jr, err := newJournal(path, q.snapshotLocked())
+	if err != nil {
+		return nil, err
+	}
+	q.journal = jr
+	return q, nil
+}
+
+// snapshotLocked returns the current jobs in submission order. Callers
+// must hold q.mu (or have exclusive access, as in Open).
+func (q *Queue) snapshotLocked() []*Job {
+	out := make([]*Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.jobs[id])
+	}
+	return out
+}
+
+// record journals the job's current state. Callers hold q.mu.
+func (q *Queue) record(j *Job) {
+	if q.journal != nil {
+		q.journal.append(j)
+	}
+}
+
+// Submit enqueues a new job with the given payload and returns it.
+func (q *Queue) Submit(config json.RawMessage) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Job{}, fmt.Errorf("jobqueue: queue is closed")
+	}
+	q.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("j%06d", q.seq),
+		State:     StatePending,
+		Config:    append(json.RawMessage(nil), config...),
+		Submitted: q.opts.Now(),
+	}
+	q.jobs[j.ID] = j
+	q.order = append(q.order, j.ID)
+	q.record(j)
+	q.cond.Broadcast()
+	return *j, nil
+}
+
+// Get returns a copy of the job, if it exists.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns copies of all jobs in submission order.
+func (q *Queue) List() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, *q.jobs[id])
+	}
+	return out
+}
+
+// expireLocked requeues active jobs whose lease lapsed. Callers hold q.mu.
+func (q *Queue) expireLocked(now time.Time) int {
+	n := 0
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if j.State.Active() && now.After(j.Lease) {
+			j.State = StatePending
+			j.Worker = ""
+			j.Lease = time.Time{}
+			j.Note = "lease expired; requeued"
+			q.record(j)
+			n++
+		}
+	}
+	if n > 0 {
+		q.cond.Broadcast()
+	}
+	return n
+}
+
+// ExpireLeases requeues every active job whose lease has lapsed (the
+// worker stopped heartbeating) and reports how many were requeued.
+func (q *Queue) ExpireLeases() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.expireLocked(q.opts.Now())
+}
+
+// TryClaim claims the oldest pending job for worker, or reports none
+// available. Expired leases are collected first, so a crashed worker's
+// jobs become claimable here.
+func (q *Queue) TryClaim(worker string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.tryClaimLocked(worker)
+}
+
+func (q *Queue) tryClaimLocked(worker string) (Job, bool) {
+	now := q.opts.Now()
+	q.expireLocked(now)
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if j.State == StatePending {
+			j.State = StateClaimed
+			j.Worker = worker
+			j.Lease = now.Add(q.opts.Lease)
+			j.Attempts++
+			j.Note = ""
+			q.record(j)
+			return *j, true
+		}
+	}
+	return Job{}, false
+}
+
+// Claim blocks until a pending job is available (or ctx is done / the
+// queue closes) and claims it for worker.
+func (q *Queue) Claim(ctx context.Context, worker string) (Job, error) {
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return Job{}, err
+		}
+		if q.closed {
+			return Job{}, fmt.Errorf("jobqueue: queue is closed")
+		}
+		if j, ok := q.tryClaimLocked(worker); ok {
+			return j, nil
+		}
+		q.cond.Wait()
+	}
+}
+
+// owned fetches the job and verifies worker holds it. Callers hold q.mu.
+func (q *Queue) owned(id, worker string) (*Job, error) {
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("jobqueue: no job %s", id)
+	}
+	if !j.State.Active() || j.Worker != worker {
+		return nil, fmt.Errorf("jobqueue: job %s is %s (worker %q), not owned by %q", id, j.State, j.Worker, worker)
+	}
+	return j, nil
+}
+
+// Heartbeat renews worker's lease on the job.
+func (q *Queue) Heartbeat(id, worker string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, err := q.owned(id, worker)
+	if err != nil {
+		return err
+	}
+	j.Lease = q.opts.Now().Add(q.opts.Lease)
+	return nil
+}
+
+// setState moves an owned job to the given active state.
+func (q *Queue) setState(id, worker string, s State) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, err := q.owned(id, worker)
+	if err != nil {
+		return err
+	}
+	if j.State == s {
+		return nil
+	}
+	j.State = s
+	j.Lease = q.opts.Now().Add(q.opts.Lease)
+	if s == StateRunning && j.Started.IsZero() {
+		j.Started = q.opts.Now()
+	}
+	q.record(j)
+	return nil
+}
+
+// MarkRunning transitions a claimed (or paused) job to running.
+func (q *Queue) MarkRunning(id, worker string) error {
+	return q.setState(id, worker, StateRunning)
+}
+
+// MarkPaused transitions a running job to paused. The worker keeps the
+// claim and must keep heartbeating.
+func (q *Queue) MarkPaused(id, worker string) error {
+	return q.setState(id, worker, StatePaused)
+}
+
+// Finish moves an owned job to a terminal state: done when runErr is nil,
+// failed otherwise. result is an opaque artifact pointer stored on the
+// job and survives journal recovery.
+func (q *Queue) Finish(id, worker, result string, runErr error) error {
+	state := StateDone
+	errMsg := ""
+	if runErr != nil {
+		state = StateFailed
+		errMsg = runErr.Error()
+	}
+	return q.finish(id, worker, state, result, errMsg)
+}
+
+// FinishCancelled moves an owned job to cancelled (a cancel request was
+// honored mid-run); result may point at partial artifacts.
+func (q *Queue) FinishCancelled(id, worker, result string) error {
+	return q.finish(id, worker, StateCancelled, result, "")
+}
+
+func (q *Queue) finish(id, worker string, s State, result, errMsg string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, err := q.owned(id, worker)
+	if err != nil {
+		return err
+	}
+	j.State = s
+	j.Worker = ""
+	j.Lease = time.Time{}
+	j.Finished = q.opts.Now()
+	j.Result = result
+	j.Error = errMsg
+	q.record(j)
+	q.cond.Broadcast()
+	return nil
+}
+
+// Release returns an owned job to pending without finishing it — the
+// graceful-shutdown path. note (e.g. partial-progress details) is
+// journaled with the transition, so a restarted daemon sees how far the
+// interrupted run got before it re-runs the job.
+func (q *Queue) Release(id, worker, note string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, err := q.owned(id, worker)
+	if err != nil {
+		return err
+	}
+	j.State = StatePending
+	j.Worker = ""
+	j.Lease = time.Time{}
+	j.Note = note
+	q.record(j)
+	q.cond.Broadcast()
+	return nil
+}
+
+// Cancel requests cancellation. A pending job is cancelled immediately;
+// for an active job the state is returned unchanged and the caller must
+// signal the owning worker (which then calls FinishCancelled). Cancelling
+// a terminal job is a no-op. The returned state is the job's state after
+// the call.
+func (q *Queue) Cancel(id string) (State, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return "", fmt.Errorf("jobqueue: no job %s", id)
+	}
+	if j.State == StatePending {
+		j.State = StateCancelled
+		j.Finished = q.opts.Now()
+		q.record(j)
+	}
+	return j.State, nil
+}
+
+// Counts tallies jobs by state.
+func (q *Queue) Counts() map[State]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[State]int)
+	for _, j := range q.jobs {
+		out[j.State]++
+	}
+	return out
+}
+
+// Close flushes and closes the journal and wakes all blocked Claim calls
+// with an error. Jobs are not mutated: active jobs stay active in the
+// journal and will be requeued by the next Open.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	q.cond.Broadcast()
+	if q.journal != nil {
+		return q.journal.close()
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package jobqueue
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The journal is a JSONL file of job snapshots: every state transition
+// appends the job's full record, so the last line per job id is its
+// authoritative state. Recovery is a replay keeping the last record of
+// each id; compaction rewrites the file with exactly one line per job.
+//
+// Full-record snapshots (rather than deltas) keep recovery trivial and
+// make the journal greppable operational evidence: `grep j000017
+// journal.jsonl` is the job's complete history.
+
+type journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	err error // first write error; subsequent appends are dropped
+}
+
+// replayJournal reads the journal at path (missing file = empty queue)
+// and reconstructs the job set: the last record per id wins, jobs that
+// were active when the writing process died are requeued as pending, and
+// the highest id sequence number is returned so new ids never collide.
+func replayJournal(path string) (map[string]*Job, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	jobs := make(map[string]*Job)
+	var maxSeq uint64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // configs can be large
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var j Job
+		if err := json.Unmarshal([]byte(text), &j); err != nil {
+			// A torn final line (crash mid-append) is expected; anything
+			// else is corruption worth surfacing.
+			if line == countLines(path) {
+				break
+			}
+			return nil, 0, fmt.Errorf("jobqueue: journal %s line %d: %w", path, line, err)
+		}
+		if j.ID == "" || !j.State.Valid() {
+			return nil, 0, fmt.Errorf("jobqueue: journal %s line %d: invalid record", path, line)
+		}
+		cp := j
+		jobs[j.ID] = &cp
+		if seq, ok := parseSeq(j.ID); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("jobqueue: reading journal %s: %w", path, err)
+	}
+	// Requeue jobs the dead process still owned.
+	for _, j := range jobs {
+		if j.State.Active() {
+			j.State = StatePending
+			j.Worker = ""
+			j.Lease = time.Time{}
+			j.Note = "recovered after restart; requeued"
+		}
+	}
+	return jobs, maxSeq, nil
+}
+
+// countLines counts newline-terminated plus trailing partial lines; used
+// only to distinguish a torn final record from mid-file corruption.
+func countLines(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return -1
+	}
+	n := strings.Count(string(data), "\n")
+	if len(data) > 0 && !strings.HasSuffix(string(data), "\n") {
+		n++
+	}
+	return n
+}
+
+func parseSeq(id string) (uint64, bool) {
+	if !strings.HasPrefix(id, "j") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// newJournal creates (or compacts) the journal at path, writing one
+// snapshot line per existing job, and returns it ready for appends. The
+// compacted file is written to a temp file and renamed into place, so a
+// crash during compaction never loses the previous journal.
+func newJournal(path string, jobs []*Job) (*journal, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(f)
+	for _, j := range jobs {
+		if err := writeRecord(w, j); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: af, w: bufio.NewWriter(af)}, nil
+}
+
+func writeRecord(w *bufio.Writer, j *Job) error {
+	data, err := json.Marshal(j)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// append journals the job's current state. Appends are flushed and synced
+// per transition: transitions are rare (per job lifecycle, not per event)
+// and durability is the point of the journal.
+func (jr *journal) append(j *Job) {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	if jr.err != nil {
+		return
+	}
+	if err := writeRecord(jr.w, j); err != nil {
+		jr.err = err
+		return
+	}
+	if err := jr.w.Flush(); err != nil {
+		jr.err = err
+		return
+	}
+	jr.err = jr.f.Sync()
+}
+
+func (jr *journal) close() error {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	err := jr.err
+	if ferr := jr.w.Flush(); err == nil {
+		err = ferr
+	}
+	if serr := jr.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := jr.f.Close(); err == nil {
+		err = cerr
+	}
+	jr.f = nil
+	return err
+}

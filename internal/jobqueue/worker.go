@@ -1,0 +1,99 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrInterrupted is returned by a Runner whose job was interrupted by
+// shutdown (the run context was cancelled without a job-level cancel).
+// The pool releases such jobs back to pending — journaled with the
+// runner's partial-progress note — so a restarted daemon re-runs them.
+var ErrInterrupted = errors.New("jobqueue: interrupted by shutdown")
+
+// A Runner executes one claimed job. It must return promptly when ctx is
+// cancelled (shutdown). Contract:
+//
+//   - return (result, nil) for success → job done;
+//   - return (partial, ErrInterrupted) — optionally wrapped — when ctx
+//     stopped the run → job released back to pending;
+//   - call q.FinishCancelled itself for an application-level cancel, and
+//     return (_, ErrFinished) to tell the pool the job is already settled;
+//   - any other error → job failed.
+//
+// The Runner is responsible for calling q.MarkRunning/MarkPaused and
+// q.Heartbeat as it executes; the pool only claims and settles.
+type Runner func(ctx context.Context, q *Queue, job Job) (result string, err error)
+
+// ErrFinished tells the pool the runner already moved the job to a
+// terminal state (e.g. FinishCancelled) and no settlement is needed.
+var ErrFinished = errors.New("jobqueue: job already settled by runner")
+
+// Pool runs claimed jobs on a fixed set of worker goroutines, sized to
+// GOMAXPROCS by default, so hundreds of concurrent submissions share the
+// machine fairly instead of each spawning its own simulation goroutine.
+type Pool struct {
+	queue   *Queue
+	run     Runner
+	workers int
+
+	wg sync.WaitGroup
+}
+
+// NewPool creates a pool of n workers (n <= 0 selects GOMAXPROCS).
+func NewPool(q *Queue, n int, run Runner) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{queue: q, run: run, workers: n}
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Start launches the workers. They claim and execute jobs until ctx is
+// cancelled, then settle their current job (release-to-pending on
+// interruption) and exit. Use Wait to block until all workers drained.
+func (p *Pool) Start(ctx context.Context) {
+	for i := 0; i < p.workers; i++ {
+		name := fmt.Sprintf("worker-%d", i)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.work(ctx, name)
+		}()
+	}
+}
+
+// Wait blocks until every worker exited (after Start's ctx is cancelled).
+func (p *Pool) Wait() { p.wg.Wait() }
+
+func (p *Pool) work(ctx context.Context, name string) {
+	for {
+		job, err := p.queue.Claim(ctx, name)
+		if err != nil {
+			return // ctx done or queue closed
+		}
+		result, runErr := p.run(ctx, p.queue, job)
+		// Settlement errors are tolerated: the only way these transitions
+		// fail is the benign race where the job's lease expired mid-run
+		// and a newer claim owns it — then the newer claim wins.
+		switch {
+		case runErr == nil:
+			_ = p.queue.Finish(job.ID, name, result, nil)
+		case errors.Is(runErr, ErrFinished):
+			// Runner already settled the job (e.g. cancelled).
+		case errors.Is(runErr, ErrInterrupted):
+			note := "interrupted by shutdown; requeued"
+			if msg := runErr.Error(); msg != ErrInterrupted.Error() {
+				note = msg
+			}
+			_ = p.queue.Release(job.ID, name, note)
+		default:
+			_ = p.queue.Finish(job.ID, name, result, runErr)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestProgressFanOut pins the multi-subscriber contract: concurrent
+// subscribers, pollers, and a late subscriber all observe the stream
+// without racing the ticking goroutine (run under -race), every channel
+// eventually closes, and the final update carries Done with the last
+// sampled state.
+func TestProgressFanOut(t *testing.T) {
+	fan := &ProgressFanOut{}
+	const subscribers = 8
+	const ticks = 5000
+
+	var wg sync.WaitGroup
+	finals := make([]ProgressUpdate, subscribers)
+	for i := 0; i < subscribers; i++ {
+		ch, cancel := fan.Subscribe(4)
+		wg.Add(1)
+		go func(i int, ch <-chan ProgressUpdate) {
+			defer wg.Done()
+			defer cancel()
+			var last ProgressUpdate
+			for u := range ch {
+				if u.Events < last.Events {
+					t.Errorf("subscriber %d: events went backwards: %d after %d", i, u.Events, last.Events)
+					return
+				}
+				last = u
+			}
+			finals[i] = last
+		}(i, ch)
+	}
+	// A poller hammering Last concurrently with the ticker.
+	pollDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-pollDone:
+				return
+			default:
+				fan.Last()
+			}
+		}
+	}()
+
+	for i := 1; i <= ticks; i++ {
+		fan.Tick(float64(i), uint64(i))
+	}
+	fan.Done()
+	close(pollDone)
+	wg.Wait()
+
+	for i, u := range finals {
+		if !u.Done {
+			t.Errorf("subscriber %d: final update not marked done: %+v", i, u)
+		}
+		if u.Events != ticks {
+			t.Errorf("subscriber %d: final events = %d, want %d", i, u.Events, ticks)
+		}
+	}
+
+	// Late subscription after Done: immediately yields the final update.
+	ch, cancel := fan.Subscribe(1)
+	defer cancel()
+	u, ok := <-ch
+	if !ok || !u.Done || u.Events != ticks {
+		t.Fatalf("late subscriber got %+v (ok=%v), want done update with %d events", u, ok, ticks)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("late subscriber channel not closed after final update")
+	}
+
+	// Ticks after Done are ignored, not redelivered.
+	fan.Tick(99, 99)
+	if last, _ := fan.Last(); last.Events != ticks || !last.Done {
+		t.Fatalf("tick after done mutated state: %+v", last)
+	}
+}
+
+// TestProgressFanOutSlowSubscriber pins that a subscriber that never reads
+// cannot block the ticking goroutine: latest-wins buffering drops stale
+// updates instead.
+func TestProgressFanOutSlowSubscriber(t *testing.T) {
+	fan := &ProgressFanOut{}
+	ch, cancel := fan.Subscribe(1)
+	defer cancel()
+	for i := 1; i <= 1000; i++ {
+		fan.Tick(float64(i), uint64(i)) // must not block despite no reader
+	}
+	fan.Done()
+	var last ProgressUpdate
+	for u := range ch {
+		last = u
+	}
+	if !last.Done || last.Events != 1000 {
+		t.Fatalf("slow subscriber final update = %+v, want done with 1000 events", last)
+	}
+}

@@ -176,6 +176,25 @@ func niceTicks(maxV float64, n int) []float64 {
 	return out
 }
 
+// WriteGantt renders a recorder's allocation history as an SVG Gantt
+// chart: one colored band per job, reconfigurations marked at segment
+// boundaries, node outages overlaid as hatched bands. It is the single
+// Gantt implementation behind both the CLI's -gantt-svg flag and the
+// daemon's gantt.svg endpoint. Unless opts.Outages is set explicitly, the
+// recorder's outage intervals are used.
+func WriteGantt(w io.Writer, rec *metrics.Recorder, opts Options) error {
+	if opts.Outages == nil {
+		opts.Outages = rec.Outages()
+	}
+	return Gantt(w, rec.Gantt(), rec.TotalNodes(), opts)
+}
+
+// WriteUtilization renders a recorder's busy-nodes timeline as an SVG step
+// plot, scaled to the machine size.
+func WriteUtilization(w io.Writer, rec *metrics.Recorder, opts Options) error {
+	return Timeline(w, rec.BusyTimeline(), "busy nodes", float64(rec.TotalNodes()), opts)
+}
+
 // Gantt renders allocation segments as a Gantt chart. Because segments
 // record node counts (not identities), lanes are assigned with the same
 // lowest-first discipline the simulator's allocator uses, so the picture

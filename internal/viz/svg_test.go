@@ -219,3 +219,35 @@ func TestEscape(t *testing.T) {
 		t.Errorf("escape = %q", got)
 	}
 }
+
+// TestWriteGanttMatchesGantt pins that the recorder-level WriteGantt entry
+// point (used by the daemon's gantt.svg endpoint) and the low-level Gantt
+// call (used historically by the CLI) produce identical output for the
+// same run, including the recorder's outage overlay.
+func TestWriteGanttMatchesGantt(t *testing.T) {
+	rec := metrics.NewRecorder(16)
+	rec.AddGantt(0, "a", 4, 0, 10)
+	rec.AddGantt(1, "b", 2, 2, 8)
+	rec.AddGantt(0, "a", 8, 10, 20)
+	rec.NodeDown(3, 5)
+	rec.NodeUp(3, 9)
+
+	var direct, viaRec bytes.Buffer
+	if err := Gantt(&direct, rec.Gantt(), rec.TotalNodes(), Options{Title: "t", Outages: rec.Outages()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGantt(&viaRec, rec, Options{Title: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), viaRec.Bytes()) {
+		t.Error("WriteGantt diverged from Gantt on the same recorder")
+	}
+
+	var util bytes.Buffer
+	if err := WriteUtilization(&util, rec, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if c := parseSVG(t, util.Bytes()); c["svg"] != 1 {
+		t.Errorf("utilization svg elements: %d", c["svg"])
+	}
+}
