@@ -1,0 +1,8 @@
+package main
+
+import "repro/elastisim"
+
+// applyQueueMode selects the debug binary-heap event queue when requested.
+func applyQueueMode(opts *elastisim.Options, heap bool) {
+	opts.ForceHeapQueue = heap
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -38,6 +39,7 @@ func run(ctx context.Context) error {
 		bbTarget  = flag.Bool("bb-checkpoints", false, "direct checkpoints to burst buffers instead of the PFS")
 		ckpt      = flag.String("checkpoint-interval", "", "checkpoint-interval expression in seconds tagged onto every job (e.g. \"300\"; empty = no restart checkpoints)")
 		name      = flag.String("name", "synthetic", "workload name")
+		stream    = flag.Bool("stream", false, "emit jobs incrementally in constant memory (same output; use for very large workloads)")
 	)
 	flag.Parse()
 
@@ -54,7 +56,7 @@ func run(ctx context.Context) error {
 	if *bbTarget {
 		target = job.TargetBB
 	}
-	wl, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+	cfg := elastisim.WorkloadConfig{
 		Name:  *name,
 		Seed:  *seed,
 		Count: *count,
@@ -70,7 +72,11 @@ func run(ctx context.Context) error {
 		TypeShares:         shares,
 		CheckpointTarget:   target,
 		CheckpointInterval: *ckpt,
-	})
+	}
+	if *stream {
+		return streamWorkload(cfg)
+	}
+	wl, err := elastisim.GenerateWorkload(cfg)
 	if err != nil {
 		return err
 	}
@@ -82,5 +88,41 @@ func run(ctx context.Context) error {
 	fmt.Println()
 	counts := wl.CountByType()
 	fmt.Fprintf(os.Stderr, "workgen: %d jobs (%v)\n", len(wl.Jobs), counts)
+	return nil
+}
+
+// streamWorkload writes the workload job by job: memory stays flat no
+// matter the count, and the bytes match the buffered path exactly.
+func streamWorkload(cfg elastisim.WorkloadConfig) error {
+	s, err := elastisim.NewWorkloadStream(cfg)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	ww := job.NewWorkloadWriter(out, cfg.Name)
+	counts := map[job.Type]int{}
+	n := 0
+	for {
+		j, err := s.Next()
+		if err != nil {
+			return err
+		}
+		if j == nil {
+			break
+		}
+		if err := ww.WriteJob(j); err != nil {
+			return err
+		}
+		counts[j.Type]++
+		n++
+	}
+	if err := ww.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "workgen: %d jobs (%v)\n", n, counts)
 	return nil
 }

@@ -47,6 +47,7 @@ type configOptions struct {
 	Horizon         Quantity `json:"horizon,omitempty"`
 	DisableFastPath bool     `json:"disable_fast_path,omitempty"`
 	ForceFullSolve  bool     `json:"force_full_solve,omitempty"`
+	ForceHeapQueue  bool     `json:"force_heap_queue,omitempty"`
 }
 
 // fairnessNames maps the serialized fairness policy names to fluid values.
@@ -110,6 +111,7 @@ func ParseConfig(data []byte) (Config, error) {
 			Horizon:            float64(o.Horizon),
 			DisableFastPath:    o.DisableFastPath,
 			ForceFullSolve:     o.ForceFullSolve,
+			ForceHeapQueue:     o.ForceHeapQueue,
 		}
 		if o.Fairness != "" {
 			f, ok := fairnessNames[o.Fairness]
@@ -174,6 +176,7 @@ func MarshalConfig(cfg Config) ([]byte, error) {
 		Horizon:            Quantity(o.Horizon),
 		DisableFastPath:    o.DisableFastPath,
 		ForceFullSolve:     o.ForceFullSolve,
+		ForceHeapQueue:     o.ForceHeapQueue,
 	}
 	if o.Fairness != fluid.MaxMin {
 		co.Fairness = o.Fairness.String()

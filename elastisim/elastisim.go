@@ -295,6 +295,15 @@ func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
 	return job.Generate(cfg)
 }
 
+// WorkloadStream generates the same jobs as GenerateWorkload one at a time
+// in constant memory (re-export; see job.Stream).
+type WorkloadStream = job.Stream
+
+// NewWorkloadStream starts streaming the synthetic workload cfg describes.
+func NewWorkloadStream(cfg WorkloadConfig) (*WorkloadStream, error) {
+	return job.NewStream(cfg)
+}
+
 // LoadSWF converts a Standard Workload Format trace into a workload.
 func LoadSWF(path string, opts job.SWFOptions) (*Workload, error) {
 	f, err := os.Open(path)

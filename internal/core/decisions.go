@@ -12,8 +12,8 @@ import (
 // apply validates and executes one scheduling decision. Errors mean the
 // decision was rejected with no side effects.
 func (e *Engine) apply(d sched.Decision) error {
-	jr, ok := e.runs[d.Job]
-	if !ok {
+	jr := e.runs.get(d.Job)
+	if jr == nil {
 		return fmt.Errorf("unknown job %d", d.Job)
 	}
 	switch d.Kind {
@@ -66,17 +66,17 @@ func (e *Engine) applyStart(jr *jobRun, n int, pinned []int) error {
 			}
 			nodes = append(nodes, platform.NodeID(id))
 		}
-		if err := e.alloc.AllocateNodes(ownerKey(j.ID), nodes); err != nil {
+		if err := e.alloc.AllocateNodes(jr.owner, nodes); err != nil {
 			return fmt.Errorf("job %s: pinned placement: %w", j.Label(), err)
 		}
 	} else {
 		var err error
-		nodes, err = e.alloc.Allocate(ownerKey(j.ID), n)
+		nodes, err = e.alloc.Allocate(jr.owner, n)
 		if err != nil {
 			return err
 		}
 	}
-	e.removePending(jr)
+	e.queue.remove(jr)
 	e.start(jr, nodes)
 	return nil
 }
@@ -145,7 +145,7 @@ func (e *Engine) applyKill(jr *jobRun) error {
 	switch jr.state {
 	case statePending, stateHeld:
 		if jr.state == statePending {
-			e.removePending(jr)
+			e.queue.remove(jr)
 		}
 		jr.state = stateDone
 		e.rec.JobAbandoned(jr.job.ID, e.Now())

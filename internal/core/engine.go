@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/des"
@@ -32,6 +33,14 @@ import (
 // the same timestamp, so that a job pausing at a scheduling point gives the
 // algorithm a chance to reconfigure it before it continues.
 const PriorityResume = des.PriorityScheduler + 10
+
+// prioritySubmit orders job-submission events between activity completions
+// and engine bookkeeping at a shared timestamp. It pins the ordering the
+// original one-event-per-job arming produced structurally (submission
+// events were scheduled first, so their sequence numbers were globally
+// smallest): submissions at a timestamp run after activity completions but
+// before every other engine event, independent of scheduling history.
+const prioritySubmit = des.PriorityEngine - 5
 
 // Options tune engine behaviour.
 type Options struct {
@@ -65,6 +74,12 @@ type Options struct {
 	// either way (asserted by the equivalence regression tests); the
 	// switch exists for those tests and performance comparisons.
 	ForceFullSolve bool
+	// ForceHeapQueue drives the DES kernel with the reference binary-heap
+	// event queue instead of the default ladder queue. Results are
+	// bit-identical either way (asserted by the equivalence regression
+	// tests); the switch exists for those tests and performance
+	// comparisons, mirroring ForceFullSolve.
+	ForceHeapQueue bool
 	// Failures injects node failures and repairs (nil = none). It takes
 	// precedence over the platform spec's "failures" object, letting one
 	// platform file drive both clean and degraded runs.
@@ -93,13 +108,12 @@ type Engine struct {
 	rec    *metrics.Recorder
 
 	workload *job.Workload
-	runs     map[job.ID]*jobRun
-	queue    []*jobRun // pending, submission order
-	running  []*jobRun // start order
+	runs     *runTable
+	queue    runList // pending, submission order
+	running  runList // start order
 
-	// Dependency tracking: finished marks completed/killed jobs,
-	// dependents maps a job to the held jobs waiting on it.
-	finished   map[job.ID]bool
+	// Dependency tracking: dependents maps a job to the held jobs waiting
+	// on it (finished-ness is read off the run table's terminal state).
 	dependents map[job.ID][]*jobRun
 
 	// Failure injection: injector is nil when disabled, and every other
@@ -112,18 +126,41 @@ type Engine struct {
 	invocationScheduled bool
 	pendingReasons      sched.Reason
 	invocations         uint64
-	decisionsApplied    uint64
-	decisionsRejected   uint64
-	decisionsByKind     [5]uint64 // applied decisions, indexed by sched.DecisionKind
-	wallRun             time.Duration
-	wallSched           time.Duration
-	warnings            []string
-	trace               []TraceEvent
-	outstanding         int // jobs not yet finished
-	ran                 bool
-	started             bool // Start armed the initial events
-	progressDone        bool // Options.Progress ticker already terminated
-	telFinalized        bool // open telemetry spans force-closed after abort
+	invocationsElided   uint64
+
+	// Same-timestamp invocation batching: stateEpoch counts every mutation
+	// a scheduler snapshot could observe (each coincides with either a
+	// requestInvocation call or an applied decision). An invocation whose
+	// timestamp and epoch both match the previous one would hand the
+	// algorithm a bit-identical snapshot, so it is elided.
+	stateEpoch      uint64
+	lastInvokeT     float64
+	lastInvokeEpoch uint64
+
+	// Snapshot reuse: the invocation view handed to the algorithm is
+	// rebuilt in place each time (algorithms must not retain it — see
+	// sched.Algorithm), so steady-state invocations allocate nothing.
+	snapInv     sched.Invocation
+	snapViews   []sched.JobView
+	snapPending []*sched.JobView
+	snapRunning []*sched.JobView
+	snapFree    []int
+	snapDown    []int
+	// wantFreeList gates the O(total nodes) FreeList materialisation per
+	// snapshot to algorithms that declare they read it (sched.FreeListUser).
+	wantFreeList      bool
+	decisionsApplied  uint64
+	decisionsRejected uint64
+	decisionsByKind   [5]uint64 // applied decisions, indexed by sched.DecisionKind
+	wallRun           time.Duration
+	wallSched         time.Duration
+	warnings          []string
+	trace             []TraceEvent
+	outstanding       int // jobs not yet finished
+	ran               bool
+	started           bool // Start armed the initial events
+	progressDone      bool // Options.Progress ticker already terminated
+	telFinalized      bool // open telemetry spans force-closed after abort
 }
 
 // CancelCheckEvents is how many kernel events fire between context polls
@@ -140,6 +177,9 @@ func New(spec *platform.Spec, w *job.Workload, algo sched.Algorithm, opts Option
 		return nil, fmt.Errorf("core: nil scheduling algorithm")
 	}
 	kernel := des.NewKernel()
+	if opts.ForceHeapQueue {
+		kernel = des.NewHeapKernel()
+	}
 	pool := fluid.NewPool(kernel)
 	pool.SetFairness(opts.Fairness)
 	if opts.ForceFullSolve {
@@ -158,17 +198,20 @@ func New(spec *platform.Spec, w *job.Workload, algo sched.Algorithm, opts Option
 		}
 	}
 	e := &Engine{
-		kernel:     kernel,
-		pool:       pool,
-		plat:       plat,
-		alloc:      platform.NewAllocator(plat.NumNodes()),
-		algo:       algo,
-		opts:       opts,
-		rec:        metrics.NewRecorder(plat.NumNodes()),
-		workload:   w,
-		runs:       make(map[job.ID]*jobRun, len(w.Jobs)),
-		finished:   make(map[job.ID]bool),
-		dependents: make(map[job.ID][]*jobRun),
+		kernel:      kernel,
+		pool:        pool,
+		plat:        plat,
+		alloc:       platform.NewAllocator(plat.NumNodes()),
+		algo:        algo,
+		opts:        opts,
+		rec:         metrics.NewRecorder(plat.NumNodes()),
+		workload:    w,
+		runs:        newRunTable(w),
+		dependents:  make(map[job.ID][]*jobRun),
+		lastInvokeT: math.Inf(-1),
+	}
+	if u, ok := algo.(sched.FreeListUser); ok && u.WantsFreeList() {
+		e.wantFreeList = true
 	}
 	fs := opts.Failures
 	if fs == nil {
@@ -229,12 +272,7 @@ func (e *Engine) Start() {
 	e.started = true
 	e.ran = true
 	e.outstanding = len(e.workload.Jobs)
-	for _, j := range e.workload.Jobs {
-		jj := j
-		e.kernel.Schedule(des.Time(j.SubmitTime), des.PriorityEngine, func() {
-			e.submit(jj)
-		})
-	}
+	e.armSubmissions()
 	if e.injector != nil {
 		for n := 0; n < e.plat.NumNodes(); n++ {
 			e.scheduleOutage(n, 0)
@@ -251,6 +289,52 @@ func (e *Engine) Start() {
 			p.Tick(e.Now(), e.kernel.Steps())
 		})
 	}
+}
+
+// armSubmissions schedules the workload's submissions as a chain of batch
+// events — one transient kernel event per distinct submit time, each
+// submitting every job due at its timestamp and arming the next link —
+// instead of one closure-carrying event per job. A million-job workload
+// thus arms in O(1) queue space and allocates nothing per job beyond its
+// run-table slot. Submissions run at prioritySubmit, reproducing the exact
+// intra-timestamp ordering of per-job arming.
+func (e *Engine) armSubmissions() {
+	jobs := e.workload.Jobs
+	if len(jobs) == 0 {
+		return
+	}
+	// Workloads from ParseWorkload/Generate are sorted by submit time; a
+	// hand-assembled one may not be, so fall back to a stably-sorted index
+	// (preserving workload order within a timestamp, which is the order
+	// per-job arming would have fired in).
+	at := func(i int) *job.Job { return jobs[i] }
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].SubmitTime < jobs[i-1].SubmitTime {
+			idx := make([]int, len(jobs))
+			for k := range idx {
+				idx[k] = k
+			}
+			sort.SliceStable(idx, func(a, b int) bool {
+				return jobs[idx[a]].SubmitTime < jobs[idx[b]].SubmitTime
+			})
+			at = func(i int) *job.Job { return jobs[idx[i]] }
+			break
+		}
+	}
+	next := 0
+	var step func()
+	step = func() {
+		now := float64(e.kernel.Now())
+		for next < len(jobs) && at(next).SubmitTime <= now {
+			j := at(next)
+			next++
+			e.submit(j)
+		}
+		if next < len(jobs) {
+			e.kernel.ScheduleTransient(des.Time(at(next).SubmitTime), prioritySubmit, step)
+		}
+	}
+	e.kernel.ScheduleTransient(des.Time(at(0).SubmitTime), prioritySubmit, step)
 }
 
 // RunCtx executes events until the queue drains, the options horizon is
@@ -374,10 +458,15 @@ func (e *Engine) Outstanding() int {
 }
 
 // QueuedJobs returns the number of jobs currently pending in the queue.
-func (e *Engine) QueuedJobs() int { return len(e.queue) }
+func (e *Engine) QueuedJobs() int { return e.queue.count }
 
 // RunningJobs returns the number of jobs currently holding nodes.
-func (e *Engine) RunningJobs() int { return len(e.running) }
+func (e *Engine) RunningJobs() int { return e.running.count }
+
+// InvocationsElided returns how many scheduler invocations were batched
+// away because an invocation at the same timestamp had already seen a
+// bit-identical snapshot.
+func (e *Engine) InvocationsElided() uint64 { return e.invocationsElided }
 
 // Solves returns how many fluid-solver recomputations ran.
 func (e *Engine) Solves() uint64 { return e.pool.Solves() }
@@ -406,12 +495,12 @@ func (e *Engine) warnf(format string, args ...any) {
 // submit registers a job. Jobs with unfinished dependencies are held;
 // the rest enter the pending queue immediately.
 func (e *Engine) submit(j *job.Job) {
-	jr := &jobRun{job: j, state: statePending, grantedTarget: 0}
-	e.runs[j.ID] = jr
+	jr := e.runs.alloc(j)
+	jr.state = statePending
 	e.rec.JobSubmitted(j, e.Now())
 	e.traceEvent(EvSubmit, j.ID, fmt.Sprintf("type=%s", j.Type))
 	for _, dep := range j.Dependencies {
-		if !e.finished[dep] {
+		if !e.isFinished(dep) {
 			jr.depsLeft++
 			e.dependents[dep] = append(e.dependents[dep], jr)
 		}
@@ -421,19 +510,26 @@ func (e *Engine) submit(j *job.Job) {
 		e.traceEvent(EvHeld, j.ID, fmt.Sprintf("deps=%d", jr.depsLeft))
 		return
 	}
-	e.queue = append(e.queue, jr)
+	e.queue.add(jr)
 	e.requestInvocation(sched.ReasonSubmit)
 }
 
-// markFinished records a terminal job and releases dependents whose last
-// dependency this was ("afterany": killed jobs satisfy dependencies too).
+// isFinished reports whether id reached a terminal state ("afterany"
+// dependency semantics: completed and killed both count). A job that was
+// never submitted is not finished.
+func (e *Engine) isFinished(id job.ID) bool {
+	jr := e.runs.get(id)
+	return jr != nil && jr.state == stateDone
+}
+
+// markFinished releases dependents whose last dependency this was
+// ("afterany": killed jobs satisfy dependencies too).
 func (e *Engine) markFinished(id job.ID) {
-	e.finished[id] = true
 	for _, jr := range e.dependents[id] {
 		jr.depsLeft--
 		if jr.depsLeft == 0 && jr.state == stateHeld {
 			jr.state = statePending
-			e.queue = append(e.queue, jr)
+			e.queue.add(jr)
 			e.traceEvent(EvReleased, jr.job.ID, "")
 			e.requestInvocation(sched.ReasonSubmit)
 		}
@@ -443,7 +539,7 @@ func (e *Engine) markFinished(id job.ID) {
 
 // schedulePeriodic arms the next periodic invocation while work remains.
 func (e *Engine) schedulePeriodic() {
-	e.kernel.ScheduleAfter(des.Time(e.opts.InvocationInterval), des.PriorityScheduler, func() {
+	e.kernel.ScheduleTransientAfter(des.Time(e.opts.InvocationInterval), des.PriorityScheduler, func() {
 		if e.outstanding == 0 {
 			return
 		}
@@ -455,8 +551,11 @@ func (e *Engine) schedulePeriodic() {
 
 // requestInvocation coalesces event-driven scheduler invocations: all
 // triggers at one timestamp yield a single invocation that runs after
-// activity completions (priority ordering).
+// activity completions (priority ordering). Every call marks a state
+// change, which is what lets invoke batch away a redundant same-timestamp
+// re-invocation (see stateEpoch).
 func (e *Engine) requestInvocation(reason sched.Reason) {
+	e.stateEpoch++
 	e.pendingReasons |= reason
 	if e.opts.DisableEventDriven {
 		return
@@ -465,7 +564,7 @@ func (e *Engine) requestInvocation(reason sched.Reason) {
 		return
 	}
 	e.invocationScheduled = true
-	e.kernel.ScheduleAfter(0, des.PriorityScheduler, func() {
+	e.kernel.ScheduleTransientAfter(0, des.PriorityScheduler, func() {
 		e.invocationScheduled = false
 		e.invoke()
 	})
@@ -476,6 +575,19 @@ func (e *Engine) requestInvocation(reason sched.Reason) {
 // an audit record: everything the scheduler saw, everything it decided,
 // and why rejected decisions were rejected.
 func (e *Engine) invoke() {
+	now := e.Now()
+	if e.invocations > 0 && now == e.lastInvokeT && e.stateEpoch == e.lastInvokeEpoch {
+		// An invocation already ran at this exact timestamp and nothing it
+		// could observe has changed since (no new trigger, no applied
+		// decision): a second call would hand the algorithm a bit-identical
+		// snapshot — the pending reasons are the only delta — and apply the
+		// same outcome. Batch it away. This collapses the periodic tick and
+		// the event-driven invocation landing on one timestamp into a
+		// single algorithm call.
+		e.pendingReasons = 0
+		e.invocationsElided++
+		return
+	}
 	reasons := e.pendingReasons
 	e.pendingReasons = 0
 	inv := e.snapshot(reasons)
@@ -520,6 +632,7 @@ func (e *Engine) invoke() {
 			e.decisionsRejected++
 			continue
 		}
+		e.stateEpoch++ // applied decisions change what a snapshot would see
 		e.decisionsApplied++
 		if k := int(d.Kind); k >= 0 && k < len(e.decisionsByKind) {
 			e.decisionsByKind[k]++
@@ -528,40 +641,76 @@ func (e *Engine) invoke() {
 	if audit != nil {
 		tel.Audit().Record(*audit)
 	}
+	e.lastInvokeT = now
+	e.lastInvokeEpoch = e.stateEpoch
 }
 
-// snapshot builds the read-only invocation view.
+// snapshot builds the read-only invocation view. The Invocation, its
+// JobViews, and every slice hang off reusable engine buffers (algorithms
+// must not retain them — the sched.Algorithm contract), so a steady-state
+// invocation performs no allocation at all.
 func (e *Engine) snapshot(reasons sched.Reason) *sched.Invocation {
-	inv := &sched.Invocation{
+	inv := &e.snapInv
+	*inv = sched.Invocation{
 		Now:        e.Now(),
 		Reasons:    reasons,
 		FreeNodes:  e.alloc.Free(),
 		TotalNodes: e.alloc.Total(),
 	}
-	for _, id := range e.alloc.FreeNodes() {
-		inv.FreeList = append(inv.FreeList, int(id))
+	if e.wantFreeList {
+		e.snapFree = e.snapFree[:0]
+		for _, id := range e.alloc.FreeNodes() {
+			e.snapFree = append(e.snapFree, int(id))
+		}
+		inv.FreeList = e.snapFree
 	}
 	if e.plat.IsTree() {
 		inv.GroupSize = e.plat.Spec().Network.GroupSize
 	}
 	if e.downCount > 0 {
+		e.snapDown = e.snapDown[:0]
 		for n, d := range e.nodeDown {
 			if d {
-				inv.DownNodes = append(inv.DownNodes, n)
+				e.snapDown = append(e.snapDown, n)
 			}
 		}
+		inv.DownNodes = e.snapDown
 	}
-	for _, jr := range e.queue {
-		inv.Pending = append(inv.Pending, e.view(jr))
+	// Size the view slab up front: pointers into it must stay stable while
+	// the pending/running lists are filled.
+	need := e.queue.count + e.running.count
+	if cap(e.snapViews) < need {
+		e.snapViews = make([]sched.JobView, need+need/2)
 	}
-	for _, jr := range e.running {
-		inv.Running = append(inv.Running, e.view(jr))
+	views := e.snapViews[:cap(e.snapViews)]
+	vi := 0
+	e.snapPending = e.snapPending[:0]
+	for _, jr := range e.queue.items {
+		if jr == nil {
+			continue
+		}
+		v := &views[vi]
+		vi++
+		e.fillView(v, jr)
+		e.snapPending = append(e.snapPending, v)
 	}
+	e.snapRunning = e.snapRunning[:0]
+	for _, jr := range e.running.items {
+		if jr == nil {
+			continue
+		}
+		v := &views[vi]
+		vi++
+		e.fillView(v, jr)
+		e.snapRunning = append(e.snapRunning, v)
+	}
+	inv.Pending = e.snapPending
+	inv.Running = e.snapRunning
 	return inv
 }
 
-func (e *Engine) view(jr *jobRun) *sched.JobView {
-	v := &sched.JobView{
+func (e *Engine) fillView(v *sched.JobView, jr *jobRun) {
+	*v = sched.JobView{
 		ID:         jr.job.ID,
 		Job:        jr.job,
 		SubmitTime: jr.job.SubmitTime,
@@ -581,5 +730,4 @@ func (e *Engine) view(jr *jobRun) *sched.JobView {
 			v.ExpectedEnd = math.Inf(1)
 		}
 	}
-	return v
 }

@@ -21,7 +21,7 @@ func (e *Engine) scheduleOutage(node int, t float64) {
 	if !ok {
 		return
 	}
-	e.kernel.Schedule(des.Time(down), des.PriorityEngine, func() {
+	e.kernel.ScheduleTransient(des.Time(down), des.PriorityEngine, func() {
 		e.nodeFail(node, up)
 	})
 }
@@ -46,7 +46,7 @@ func (e *Engine) nodeFail(node int, up float64) {
 	e.rec.NodeDown(node, now)
 	e.traceNodeEvent(EvNodeDown, node, "")
 	e.requestInvocation(sched.ReasonNodeDown)
-	e.kernel.Schedule(des.Time(up), des.PriorityEngine, func() {
+	e.kernel.ScheduleTransient(des.Time(up), des.PriorityEngine, func() {
 		e.nodeRepair(node)
 	})
 }
@@ -71,7 +71,10 @@ func (e *Engine) nodeRepair(node int) {
 
 // runOnNode finds the running job allocated the node, or nil.
 func (e *Engine) runOnNode(id platform.NodeID) *jobRun {
-	for _, jr := range e.running {
+	for _, jr := range e.running.items {
+		if jr == nil {
+			continue
+		}
 		for _, n := range jr.nodes {
 			if n == id {
 				return jr
@@ -113,7 +116,7 @@ func (e *Engine) shrinkThroughFailure(jr *jobRun, id platform.NodeID) {
 			break
 		}
 	}
-	if err := e.alloc.Release(ownerKey(jr.job.ID), []platform.NodeID{id}); err != nil {
+	if err := e.alloc.Release(jr.owner, []platform.NodeID{id}); err != nil {
 		panic(fmt.Sprintf("core: releasing failed node %d of %s: %v", int(id), jr.job.Label(), err))
 	}
 	e.telNodesReleased(jr, []platform.NodeID{id})
@@ -146,12 +149,15 @@ func (e *Engine) killByNodeFailure(jr *jobRun, requeue bool) {
 	}
 	e.cancelWork(jr)
 	e.rec.AddGantt(jr.job.ID, jr.job.Label(), len(jr.nodes), jr.segStart, now)
-	if n := e.alloc.ReleaseAll(ownerKey(jr.job.ID)); n != len(jr.nodes) {
+	if n := e.alloc.Owned(jr.owner); n != len(jr.nodes) {
 		panic(fmt.Sprintf("core: job %s released %d nodes, held %d", jr.job.Label(), n, len(jr.nodes)))
+	}
+	if err := e.alloc.Release(jr.owner, jr.nodes); err != nil {
+		panic(fmt.Sprintf("core: releasing %s: %v", jr.job.Label(), err))
 	}
 	e.telNodesReleased(jr, jr.nodes)
 	jr.nodes = nil
-	e.removeRunning(jr)
+	e.running.remove(jr)
 	e.rec.JobFailed(jr.job.ID, now, lost)
 	if requeue && jr.requeues < e.injector.Spec().EffectiveMaxRequeues() {
 		jr.requeues++
@@ -159,7 +165,7 @@ func (e *Engine) killByNodeFailure(jr *jobRun, requeue bool) {
 		jr.evolvingRequest, jr.grantedTarget, jr.pendingResize = 0, 0, 0
 		e.rec.JobRequeued(jr.job.ID, now)
 		e.traceEvent(EvRequeued, jr.job.ID, fmt.Sprintf("requeue=%d ckpt=%d/%d", jr.requeues, jr.ckptPhase, jr.ckptIter))
-		e.queue = append(e.queue, jr)
+		e.queue.add(jr)
 		return
 	}
 	jr.state = stateDone

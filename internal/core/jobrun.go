@@ -49,6 +49,10 @@ type jobRun struct {
 	job   *job.Job
 	state jobState
 
+	// owner is the job's allocator key, formatted once at submission —
+	// allocator calls on hot paths must not re-render it.
+	owner string
+
 	nodes     []platform.NodeID
 	startTime float64
 
@@ -80,6 +84,11 @@ type jobRun struct {
 	// depsLeft counts unfinished dependencies; the job is held until it
 	// reaches zero.
 	depsLeft int
+
+	// listPos is the job's index in the engine's pending queue or running
+	// list (it is in at most one at a time), -1 when in neither. Owned by
+	// runList; enables O(1) tombstoned removal.
+	listPos int
 
 	// Resilience bookkeeping: the checkpointed program-counter position a
 	// restart resumes from, when it was taken, when the current iteration
@@ -132,7 +141,7 @@ func (e *Engine) start(jr *jobRun, nodes []platform.NodeID) {
 	jr.segStart = now
 	jr.phaseIdx, jr.iter, jr.taskIdx = jr.ckptPhase, jr.ckptIter, 0
 	jr.lastCkpt = now
-	e.running = append(e.running, jr)
+	e.running.add(jr)
 	e.rec.JobStarted(jr.job.ID, now, len(nodes))
 	detail := fmt.Sprintf("nodes=%d", len(nodes))
 	if jr.requeues > 0 {
@@ -283,6 +292,7 @@ func (e *Engine) startComm(jr *jobRun, t *job.Task, payload float64, done func()
 	}
 	if lat := e.plat.Latency(); lat > 0 {
 		jr.timer = e.kernel.ScheduleAfter(des.Time(lat), des.PriorityEngine, func() {
+			e.kernel.Release(jr.timer)
 			jr.timer = nil
 			begin()
 		})
@@ -452,7 +462,13 @@ func (e *Engine) registerEvolvingRequest(jr *jobRun, desired float64) {
 // taskDone advances the job's program counter.
 func (e *Engine) taskDone(jr *jobRun) {
 	jr.activity = nil
-	jr.timer = nil
+	if jr.timer != nil {
+		// The timer that just fired is ours alone; hand its allocation back
+		// to the kernel. (When taskDone is reached via the fluid solver the
+		// timer is already nil.)
+		e.kernel.Release(jr.timer)
+		jr.timer = nil
+	}
 	if jr.state == stateDone {
 		return
 	}
@@ -499,7 +515,7 @@ func (e *Engine) enterSchedulingPoint(jr *jobRun) {
 	jr.pendingResize = 0
 	e.traceEvent(EvSchedulingPoint, jr.job.ID, fmt.Sprintf("phase=%d iter=%d", jr.phaseIdx, jr.iter))
 	e.requestInvocation(sched.ReasonSchedulingPoint)
-	e.kernel.ScheduleAfter(0, PriorityResume, func() {
+	e.kernel.ScheduleTransientAfter(0, PriorityResume, func() {
 		e.resumeFromSchedulingPoint(jr)
 	})
 }
@@ -543,7 +559,7 @@ func (e *Engine) resumeFromSchedulingPoint(jr *jobRun) {
 func (e *Engine) adjustAllocation(jr *jobRun, target int) {
 	now := e.Now()
 	cur := len(jr.nodes)
-	owner := ownerKey(jr.job.ID)
+	owner := jr.owner
 	if target > cur {
 		added, err := e.alloc.Allocate(owner, target-cur)
 		if err != nil {
@@ -587,6 +603,7 @@ func (e *Engine) chargeReconfiguration(jr *jobRun, oldSize int) {
 		jr.state = stateReconfiguring
 		e.telBeginReconfig(jr, oldSize)
 		jr.timer = e.kernel.ScheduleAfter(des.Time(cost), des.PriorityEngine, func() {
+			e.kernel.Release(jr.timer)
 			jr.timer = nil
 			if jr.state != stateReconfiguring {
 				return
@@ -607,12 +624,15 @@ func (e *Engine) finish(jr *jobRun, status metrics.JobStatus) {
 	jr.state = stateDone
 	e.cancelWork(jr)
 	e.rec.AddGantt(jr.job.ID, jr.job.Label(), len(jr.nodes), jr.segStart, now)
-	if n := e.alloc.ReleaseAll(ownerKey(jr.job.ID)); n != len(jr.nodes) {
+	if n := e.alloc.Owned(jr.owner); n != len(jr.nodes) {
 		panic(fmt.Sprintf("core: job %s released %d nodes, held %d", jr.job.Label(), n, len(jr.nodes)))
+	}
+	if err := e.alloc.Release(jr.owner, jr.nodes); err != nil {
+		panic(fmt.Sprintf("core: releasing %s: %v", jr.job.Label(), err))
 	}
 	e.telNodesReleased(jr, jr.nodes)
 	jr.nodes = nil
-	e.removeRunning(jr)
+	e.running.remove(jr)
 	e.rec.JobFinished(jr.job.ID, now, status)
 	e.traceEvent(EvFinish, jr.job.ID, fmt.Sprintf("status=%s", status))
 	e.outstanding--
@@ -630,7 +650,8 @@ func (e *Engine) kill(jr *jobRun, status metrics.JobStatus) {
 
 // cancelTask tears down the in-flight activity or timer, leaving the
 // walltime kill event armed. An open telemetry task span ends here: the
-// task stops at this instant.
+// task stops at this instant. Cancelled timers are released back to the
+// kernel — jr.timer was the only reference.
 func (e *Engine) cancelTask(jr *jobRun) {
 	e.telCloseTask(jr)
 	if jr.activity != nil {
@@ -639,34 +660,21 @@ func (e *Engine) cancelTask(jr *jobRun) {
 	}
 	if jr.timer != nil {
 		e.kernel.Cancel(jr.timer)
+		e.kernel.Release(jr.timer)
 		jr.timer = nil
 	}
 }
 
 // cancelWork tears down in-flight activity, timers, and the kill event.
+// The kill event may be the one currently firing (a walltime kill reaches
+// here through finish): Cancel is then a no-op and Release recycles the
+// just-fired allocation.
 func (e *Engine) cancelWork(jr *jobRun) {
 	e.cancelTask(jr)
 	if jr.killEvent != nil {
 		e.kernel.Cancel(jr.killEvent)
+		e.kernel.Release(jr.killEvent)
 		jr.killEvent = nil
-	}
-}
-
-func (e *Engine) removeRunning(jr *jobRun) {
-	for i, r := range e.running {
-		if r == jr {
-			e.running = append(e.running[:i], e.running[i+1:]...)
-			return
-		}
-	}
-}
-
-func (e *Engine) removePending(jr *jobRun) {
-	for i, r := range e.queue {
-		if r == jr {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
-			return
-		}
 	}
 }
 

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/job"
+)
+
+// This file holds the engine's struct-of-arrays job-state kernel: an
+// arena-allocated run table replacing the per-job heap allocations and the
+// runs map, and tombstoned index lists replacing the shift-remove pending
+// and running slices. Together they turn the per-job bookkeeping that
+// dominated million-job simulations — one allocation plus one map insert
+// per submit, an O(n) scan per queue removal — into amortised O(1)
+// operations on dense memory.
+
+// runChunk is the arena's allocation granularity: one make([]jobRun)
+// serves this many submits.
+const runChunk = 2048
+
+// runTable owns every jobRun of a simulation. Runs are carved out of
+// chunked slabs in submission order (a finished run is never reclaimed:
+// terminal state stays addressable for decision validation and dependency
+// checks), and indexed by job ID — through a dense slice when the
+// workload's IDs are compact (the invariant ParseWorkload and
+// Workload.Sort establish), through a map for hand-assembled workloads
+// with arbitrary IDs.
+type runTable struct {
+	chunks [][]jobRun
+	count  int
+	total  int // workload size; bounds the arena
+
+	dense  []*jobRun
+	sparse map[job.ID]*jobRun
+}
+
+func newRunTable(w *job.Workload) *runTable {
+	t := &runTable{total: len(w.Jobs)}
+	minID, maxID := job.ID(0), job.ID(-1)
+	for _, j := range w.Jobs {
+		if j.ID > maxID {
+			maxID = j.ID
+		}
+		if j.ID < minID {
+			minID = j.ID
+		}
+	}
+	if minID >= 0 && int(maxID) < 2*len(w.Jobs)+1024 {
+		t.dense = make([]*jobRun, int(maxID)+1)
+	} else {
+		t.sparse = make(map[job.ID]*jobRun, len(w.Jobs))
+	}
+	return t
+}
+
+// alloc carves a fresh run for j out of the arena and indexes it.
+func (t *runTable) alloc(j *job.Job) *jobRun {
+	slot := t.count % runChunk
+	if slot == 0 {
+		size := runChunk
+		if rest := t.total - t.count; rest > 0 && rest < size {
+			size = rest
+		}
+		t.chunks = append(t.chunks, make([]jobRun, size))
+	}
+	c := t.chunks[len(t.chunks)-1]
+	jr := &c[slot]
+	t.count++
+	*jr = jobRun{job: j, owner: ownerKey(j.ID), listPos: -1}
+	if t.dense != nil {
+		t.dense[j.ID] = jr
+	} else {
+		t.sparse[j.ID] = jr
+	}
+	return jr
+}
+
+// get returns the run for id, or nil before its submission.
+func (t *runTable) get(id job.ID) *jobRun {
+	if t.dense != nil {
+		if int(id) >= len(t.dense) || id < 0 {
+			return nil
+		}
+		return t.dense[id]
+	}
+	return t.sparse[id]
+}
+
+// len returns the number of submitted jobs.
+func (t *runTable) len() int { return t.count }
+
+// forEachByID visits every run in ascending job-ID order (deterministic
+// regardless of the index representation).
+func (t *runTable) forEachByID(fn func(*jobRun)) {
+	if t.dense != nil {
+		for _, jr := range t.dense {
+			if jr != nil {
+				fn(jr)
+			}
+		}
+		return
+	}
+	ids := make([]int, 0, len(t.sparse))
+	for id := range t.sparse {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fn(t.sparse[job.ID(id)])
+	}
+}
+
+// runList is an order-preserving job list with O(1) removal: removing
+// leaves a nil tombstone at the job's recorded position, and the list
+// compacts in place — preserving order, unlike a swap-remove, because the
+// snapshot handed to scheduling algorithms iterates it — once tombstones
+// outnumber live entries. Iteration must skip nils.
+type runList struct {
+	items []*jobRun
+	count int
+}
+
+// add appends jr, recording its position for later O(1) removal. A job is
+// in at most one list at a time (pending or running, never both), so one
+// position field suffices.
+func (l *runList) add(jr *jobRun) {
+	jr.listPos = len(l.items)
+	l.items = append(l.items, jr)
+	l.count++
+}
+
+// remove tombstones jr in O(1); absent jobs are a no-op.
+func (l *runList) remove(jr *jobRun) {
+	if jr.listPos < 0 {
+		return
+	}
+	l.items[jr.listPos] = nil
+	jr.listPos = -1
+	l.count--
+	if holes := len(l.items) - l.count; holes > 64 && holes > l.count {
+		l.compact()
+	}
+}
+
+// compact squeezes out tombstones in place, preserving order.
+func (l *runList) compact() {
+	w := 0
+	for _, jr := range l.items {
+		if jr == nil {
+			continue
+		}
+		jr.listPos = w
+		l.items[w] = jr
+		w++
+	}
+	clear(l.items[w:])
+	l.items = l.items[:w]
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sort"
 	"strings"
 
 	"repro/internal/job"
@@ -32,7 +31,7 @@ func (e *Engine) telJobEvent(kind TraceEventKind, id job.ID, detail string) {
 	case EvStart:
 		tel.End(tr, "wait", now)
 		nodes := 0
-		if jr := e.runs[id]; jr != nil {
+		if jr := e.runs.get(id); jr != nil {
 			nodes = len(jr.nodes)
 		}
 		tel.Begin(tr, "run", now, telemetry.Arg{Key: "nodes", Value: nodes})
@@ -49,12 +48,12 @@ func (e *Engine) telJobEvent(kind TraceEventKind, id job.ID, detail string) {
 		tel.Begin(tr, "wait", now, telemetry.Arg{Key: "detail", Value: detail})
 	case EvTaskStart:
 		tel.Begin(tr, "task", now, telemetry.Arg{Key: "detail", Value: detail})
-		if jr := e.runs[id]; jr != nil {
+		if jr := e.runs.get(id); jr != nil {
 			jr.telTaskOpen = true
 		}
 	case EvTaskEnd:
 		tel.End(tr, "task", now)
-		if jr := e.runs[id]; jr != nil {
+		if jr := e.runs.get(id); jr != nil {
 			jr.telTaskOpen = false
 		}
 	default:
@@ -70,7 +69,7 @@ func (e *Engine) telJobEvent(kind TraceEventKind, id job.ID, detail string) {
 // telCloseNested ends any task/reconfigure span still open when a job's
 // run span closes (kill, walltime, node failure), keeping spans nested.
 func (e *Engine) telCloseNested(id job.ID) {
-	jr := e.runs[id]
+	jr := e.runs.get(id)
 	if jr == nil {
 		return
 	}
@@ -166,14 +165,8 @@ func (e *Engine) FinalizeTelemetry() {
 	e.telFinalized = true
 	now := e.Now()
 	aborted := telemetry.Arg{Key: "aborted", Value: true}
-	ids := make([]int, 0, len(e.runs))
-	for id := range e.runs {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
-	for _, i := range ids {
-		jr := e.runs[job.ID(i)]
-		tr := telemetry.JobTrack(i)
+	e.runs.forEachByID(func(jr *jobRun) {
+		tr := telemetry.JobTrack(int(jr.job.ID))
 		switch jr.state {
 		case stateHeld, statePending:
 			tel.End(tr, "wait", now, aborted)
@@ -186,7 +179,7 @@ func (e *Engine) FinalizeTelemetry() {
 				tel.End(telemetry.NodeTrack(int(n)), label, now, aborted)
 			}
 		}
-	}
+	})
 	for n, down := range e.nodeDown {
 		if down {
 			tel.End(telemetry.NodeTrack(n), "outage", now, aborted)
@@ -215,6 +208,7 @@ func (e *Engine) TelemetrySnapshot() telemetry.Snapshot {
 		},
 		Scheduler: telemetry.SchedulerStats{
 			Invocations: e.invocations,
+			Elided:      e.invocationsElided,
 			Applied:     e.decisionsApplied,
 			Rejected:    e.decisionsRejected,
 		},

@@ -53,6 +53,24 @@ func (h *eventHeap) Pop() *Event {
 	return top
 }
 
+// Compact rebuilds the heap without tombstones in O(n), handing each
+// dropped event to the kernel's callback.
+func (h *eventHeap) Compact(drop func(*Event)) {
+	live := h.items[:0]
+	for _, ev := range h.items {
+		if ev.dead {
+			drop(ev)
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(h.items); i++ {
+		h.items[i] = nil
+	}
+	h.items = live
+	h.Init()
+}
+
 // Init re-establishes the heap invariant over the whole slice in O(n),
 // refreshing every event's index. Used after bulk tombstone compaction.
 func (h *eventHeap) Init() {

@@ -6,6 +6,11 @@
 // bit-reproducible across runs regardless of map iteration order or
 // scheduling jitter in the host program.
 //
+// The pending-event store is a ladder queue (O(1) amortised schedule and
+// fire for the near-monotonic timestamps a DES produces); the reference
+// binary heap remains available via NewHeapKernel and fires events in the
+// bit-identical order, which the equivalence tests pin.
+//
 // Cancellation is lazy: Cancel marks the event dead in O(1) and the queue
 // skims tombstones off the top (or compacts in bulk when they accumulate),
 // so the heavy cancel/reschedule churn of the fluid solver costs amortised
@@ -85,11 +90,33 @@ var ErrStopped = errors.New("des: simulation stopped by external request")
 // compacted in bulk; skimming at the top suffices for small queues.
 const compactMinQueue = 64
 
+// slabMinPeak is the peak-queue size from which Schedule batch-allocates
+// events: once a kernel has proven it queues hundreds of events, the free
+// list is pre-sized from the peak counter so per-Schedule allocation
+// amortises to (almost) zero. Small kernels keep the one-event-at-a-time
+// behaviour, which also keeps allocation-identity semantics trivial for
+// tests.
+const slabMinPeak = 128
+
+// eventQueue is the kernel's pending-event store. The default is the
+// ladder queue; the reference binary heap stays available behind
+// NewHeapKernel for debugging and equivalence pinning. Both order events
+// by the exact (time, priority, seq) comparator, so the kernel's fire
+// order is independent of the implementation.
+type eventQueue interface {
+	Push(*Event)
+	Pop() *Event
+	Peek() *Event
+	Len() int
+	// Compact drops every tombstoned event, handing each to drop.
+	Compact(drop func(*Event))
+}
+
 // Kernel is a discrete-event simulation driver. The zero value is not
 // usable; create kernels with NewKernel.
 type Kernel struct {
 	now       Time
-	queue     eventHeap
+	queue     eventQueue
 	seq       uint64
 	halted    bool
 	steps     uint64
@@ -116,9 +143,23 @@ type Kernel struct {
 	stopCheck func() bool
 }
 
-// NewKernel returns an empty kernel with the clock at zero.
+// NewKernel returns an empty kernel with the clock at zero, driven by the
+// ladder event queue.
 func NewKernel() *Kernel {
-	return &Kernel{maxTime: Infinity}
+	k := &Kernel{maxTime: Infinity}
+	k.queue = newLadderQueue(k.dropTombstone)
+	return k
+}
+
+// NewHeapKernel returns a kernel driven by the reference binary-heap event
+// queue. It exists for debugging and equivalence testing (mirroring the
+// fluid solver's ForceFullSolve switch): fire order and all observable
+// results are bit-identical to NewKernel's ladder queue, just slower at
+// scale.
+func NewHeapKernel() *Kernel {
+	k := &Kernel{maxTime: Infinity}
+	k.queue = &eventHeap{}
+	return k
 }
 
 // Now returns the current virtual time.
@@ -178,6 +219,27 @@ func (k *Kernel) SetStopCheck(n uint64, fn func() bool) {
 // Schedule enqueues fn to run at absolute time t with the given priority.
 // Scheduling in the past panics: it always indicates a simulation bug.
 func (k *Kernel) Schedule(t Time, p Priority, fn Handler) *Event {
+	return k.schedule(t, p, fn, false)
+}
+
+// ScheduleTransient enqueues a fire-and-forget event: the caller gets no
+// handle, must not cancel it, and the kernel recycles the allocation the
+// moment the handler returns. Engine hot paths use it for the
+// schedule-now bookkeeping events that dominate large simulations; with
+// it, steady-state scheduling allocates nothing.
+func (k *Kernel) ScheduleTransient(t Time, p Priority, fn Handler) {
+	k.schedule(t, p, fn, true)
+}
+
+// ScheduleTransientAfter is ScheduleTransient at now + d.
+func (k *Kernel) ScheduleTransientAfter(d Time, p Priority, fn Handler) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	k.schedule(k.now+d, p, fn, true)
+}
+
+func (k *Kernel) schedule(t Time, p Priority, fn Handler, transient bool) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, k.now))
 	}
@@ -189,10 +251,23 @@ func (k *Kernel) Schedule(t Time, p Priority, fn Handler) *Event {
 		ev = k.free[n-1]
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
-		*ev = Event{time: t, priority: p, seq: k.seq, fn: fn}
+		*ev = Event{time: t, priority: p, seq: k.seq, fn: fn, released: transient}
 		k.recycled++
+	} else if k.peakQueue >= slabMinPeak {
+		// Batch-allocate from one backing array, pre-sizing the free list
+		// from the proven peak so the next thousands of Schedules hit it.
+		batch := k.peakQueue / 4
+		if batch > 4096 {
+			batch = 4096
+		}
+		slab := make([]Event, batch)
+		for i := batch - 1; i >= 1; i-- {
+			k.free = append(k.free, &slab[i])
+		}
+		ev = &slab[0]
+		*ev = Event{time: t, priority: p, seq: k.seq, fn: fn, released: transient}
 	} else {
-		ev = &Event{time: t, priority: p, seq: k.seq, fn: fn}
+		ev = &Event{time: t, priority: p, seq: k.seq, fn: fn, released: transient}
 	}
 	k.seq++
 	k.queue.Push(ev)
@@ -221,7 +296,7 @@ func (k *Kernel) Cancel(ev *Event) {
 	k.cancelled++
 	// Keep the queue at least half live so skimming stays amortised O(1)
 	// and memory is bounded by twice the live event count.
-	if k.tombs*2 > len(k.queue.items) && len(k.queue.items) >= compactMinQueue {
+	if n := k.queue.Len(); k.tombs*2 > n && n >= compactMinQueue {
 		k.compact()
 	}
 }
@@ -268,23 +343,19 @@ func (k *Kernel) skim() {
 
 // compact rebuilds the queue without tombstones in O(n).
 func (k *Kernel) compact() {
-	live := k.queue.items[:0]
-	for _, ev := range k.queue.items {
-		if ev.dead {
-			ev.index = -1
-			if ev.released {
-				k.recycle(ev)
-			}
-			continue
-		}
-		live = append(live, ev)
+	k.queue.Compact(k.dropTombstone)
+}
+
+// dropTombstone is the queue's callback for a cancelled event it discards
+// outside the normal pop path (bulk compaction, or the ladder queue
+// sweeping a bucket). It keeps the tombstone counter exact and recycles
+// released allocations.
+func (k *Kernel) dropTombstone(ev *Event) {
+	ev.index = -1
+	k.tombs--
+	if ev.released {
+		k.recycle(ev)
 	}
-	for i := len(live); i < len(k.queue.items); i++ {
-		k.queue.items[i] = nil
-	}
-	k.queue.items = live
-	k.queue.Init()
-	k.tombs = 0
 }
 
 // Reschedule moves an event to a new time, preserving its handler and
@@ -319,7 +390,18 @@ func (k *Kernel) Step() bool {
 	if k.progressEvery != 0 && k.steps%k.progressEvery == 0 {
 		k.onProgress()
 	}
-	ev.fn()
+	fn := ev.fn
+	fn()
+	// A transient event goes straight back to the free list — but only if
+	// the handler left it detached. The guards matter: the handler may
+	// have Released it already (fn is then nil), or Released-and-reused
+	// it via Schedule for a brand-new purpose, in which case it is live
+	// in the queue again (index >= 0) or even a tombstone (dead) whose
+	// allocation the queue still references; recycling those here would
+	// alias one Event between the free list and the pending queue.
+	if ev.released && !ev.dead && ev.index < 0 && ev.fn != nil {
+		k.recycle(ev)
+	}
 	return true
 }
 

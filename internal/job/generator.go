@@ -140,65 +140,27 @@ func DefaultProfiles() []Profile {
 	}
 }
 
-// Generate builds a reproducible synthetic workload.
+// Generate builds a reproducible synthetic workload. It is Stream drained
+// into memory: the same Config streams the identical jobs through
+// NewStream/Next when the workload is too large to hold at once.
 func Generate(cfg Config) (*Workload, error) {
-	if cfg.Count <= 0 {
-		return nil, fmt.Errorf("job: generator count must be positive")
+	s, err := NewStream(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Nodes[0] <= 0 || cfg.Nodes[1] < cfg.Nodes[0] {
-		return nil, fmt.Errorf("job: invalid node range %v", cfg.Nodes)
-	}
-	if cfg.MachineNodes <= 0 {
-		cfg.MachineNodes = cfg.Nodes[1]
-	}
-	if cfg.NodeSpeed <= 0 {
-		return nil, fmt.Errorf("job: node speed must be positive")
-	}
-	if cfg.WallTimeFactor == 0 {
-		cfg.WallTimeFactor = 2.5
-	}
-	if len(cfg.Profiles) == 0 {
-		cfg.Profiles = DefaultProfiles()
-	}
-	if cfg.CheckpointTarget == "" {
-		cfg.CheckpointTarget = TargetPFS
-	}
-	var ckptModel *Model
-	if cfg.CheckpointInterval != "" {
-		m, err := NewExprModel(cfg.CheckpointInterval)
-		if err != nil {
-			return nil, fmt.Errorf("job: checkpoint interval: %w", err)
-		}
-		ckptModel = m
-	}
-	rng := des.NewRNG(cfg.Seed)
-	arrivalRNG := rng.Split()
-	jobRNG := rng.Split()
-
-	types, typeCum := normalizeShares(cfg.TypeShares)
-	profCum := profileCum(cfg.Profiles)
-
-	w := &Workload{Name: cfg.Name}
-	now := 0.0
-	for i := 0; i < cfg.Count; i++ {
-		now += interArrival(arrivalRNG, cfg.Arrival)
-		prof := &cfg.Profiles[pick(jobRNG.Float64(), profCum)]
-		jtype := Rigid
-		if len(types) > 0 {
-			jtype = types[pick(jobRNG.Float64(), typeCum)]
-		}
-		j, err := synthesize(jobRNG, cfg, prof, jtype, i, now)
+	w := &Workload{Name: cfg.Name, Jobs: make([]*Job, 0, cfg.Count)}
+	for {
+		j, err := s.Next()
 		if err != nil {
 			return nil, err
 		}
-		j.CheckpointInterval = ckptModel
-		if cfg.Users > 0 {
-			j.User = fmt.Sprintf("user%d", jobRNG.Intn(cfg.Users))
+		if j == nil {
+			break
 		}
 		w.Jobs = append(w.Jobs, j)
 	}
 	w.Sort()
-	if err := w.Validate(cfg.MachineNodes); err != nil {
+	if err := w.Validate(s.MachineNodes()); err != nil {
 		return nil, fmt.Errorf("job: generated workload invalid: %w", err)
 	}
 	return w, nil
@@ -279,130 +241,6 @@ func drawIntRange(rng *des.RNG, r [2]int) int {
 		return r[0]
 	}
 	return r[0] + rng.Intn(r[1]-r[0]+1)
-}
-
-// synthesize builds one job from a profile.
-func synthesize(rng *des.RNG, cfg Config, prof *Profile, jtype Type, idx int, submit float64) (*Job, error) {
-	base := rng.PowerOfTwo(cfg.Nodes[0], min(cfg.Nodes[1], cfg.MachineNodes))
-	iters := drawIntRange(rng, prof.Iterations)
-	computeSecs := drawRange(rng, prof.ComputeSecs)
-	serial := drawRange(rng, prof.SerialFraction)
-	ioBytes := drawRange(rng, prof.IOBytes)
-	commBytes := 0.0
-	if prof.CommBytes[1] > 0 {
-		commBytes = drawRange(rng, prof.CommBytes)
-	}
-
-	// Total flops per iteration chosen so the compute task takes
-	// computeSecs at the base allocation under the Amdahl model below.
-	amdahlBase := serial + (1-serial)/float64(base)
-	flopsIter := computeSecs * cfg.NodeSpeed / amdahlBase
-
-	j := &Job{
-		Name:       fmt.Sprintf("%s%d", prof.Name, idx),
-		Type:       jtype,
-		SubmitTime: submit,
-		Args: map[string]float64{
-			"flops_iter": flopsIter,
-			"serial":     serial,
-			"io_bytes":   ioBytes,
-			"comm_bytes": commBytes,
-		},
-	}
-	switch jtype {
-	case Rigid, Moldable:
-		j.NumNodes = base
-		j.NumNodesMin = max(1, base/4)
-		j.NumNodesMax = min(base*2, cfg.MachineNodes)
-	case Malleable, Evolving:
-		j.NumNodesMin = max(1, base/4)
-		j.NumNodesMax = min(base*4, cfg.MachineNodes)
-		j.NumNodes = base
-		// Malleable reconfigurations redistribute the working set.
-		j.ReconfigCost = MustExprModel("0.5 + io_bytes / (num_nodes_new * 10G)")
-	}
-
-	computeModel := MustExprModel("flops_iter * (serial + (1-serial)/num_nodes)")
-	schedPoint := jtype.Adaptive()
-
-	var phases []Phase
-	switch prof.Kind {
-	case ProfileComputeBound:
-		phases = []Phase{
-			{Name: "load", Tasks: []Task{
-				{Kind: TaskRead, Model: MustExprModel("io_bytes"), Target: TargetPFS},
-			}},
-			{Name: "solve", Iterations: iters, SchedulingPoint: schedPoint, Tasks: []Task{
-				{Kind: TaskCompute, Model: computeModel},
-				{Kind: TaskComm, Model: MustExprModel("comm_bytes"), Pattern: PatternAllReduce},
-			}},
-			{Name: "store", Tasks: []Task{
-				{Kind: TaskWrite, Model: MustExprModel("io_bytes"), Target: TargetPFS},
-			}},
-		}
-	case ProfileIOBound:
-		phases = []Phase{
-			{Name: "load", Tasks: []Task{
-				{Kind: TaskRead, Model: MustExprModel("io_bytes"), Target: TargetPFS},
-			}},
-			{Name: "step", Iterations: iters, SchedulingPoint: schedPoint, Tasks: []Task{
-				{Kind: TaskCompute, Model: computeModel},
-				{Kind: TaskWrite, Model: MustExprModel("io_bytes"), Target: cfg.CheckpointTarget, Name: "checkpoint"},
-			}},
-		}
-	case ProfileMixed:
-		phases = []Phase{
-			{Name: "load", Tasks: []Task{
-				{Kind: TaskRead, Model: MustExprModel("io_bytes"), Target: TargetPFS},
-			}},
-			{Name: "step", Iterations: iters, SchedulingPoint: schedPoint, Tasks: []Task{
-				{Kind: TaskCompute, Model: computeModel},
-				{Kind: TaskComm, Model: MustExprModel("comm_bytes"), Pattern: PatternAllToAll},
-				{Kind: TaskWrite, Model: MustExprModel("io_bytes / iterations"), Target: cfg.CheckpointTarget},
-			}},
-			{Name: "store", Tasks: []Task{
-				{Kind: TaskWrite, Model: MustExprModel("io_bytes"), Target: TargetPFS},
-			}},
-		}
-	default:
-		return nil, fmt.Errorf("job: unknown profile kind %q", prof.Kind)
-	}
-
-	if jtype == Evolving {
-		// The application asks for its maximum halfway through and shrinks
-		// back near the end, modelling an AMR-style load curve.
-		grow := Task{Kind: TaskEvolvingRequest, Model: MustExprModel(fmt.Sprintf("%d", j.NumNodesMax)), Name: "grow"}
-		shrink := Task{Kind: TaskEvolvingRequest, Model: MustExprModel(fmt.Sprintf("%d", j.NumNodesMin)), Name: "shrink"}
-		for pi := range phases {
-			if phases[pi].SchedulingPoint {
-				body := phases[pi].Tasks
-				phases[pi].Tasks = append([]Task{growOrShrink(iters, grow, shrink)}, body...)
-				break
-			}
-		}
-	}
-	j.App = &Application{Phases: phases}
-
-	if cfg.WallTimeFactor > 0 {
-		// Adaptive jobs may be shrunk down to their minimum allocation, so
-		// the walltime estimate must cover the worst (smallest) case or a
-		// shrink-happy scheduler would get jobs killed.
-		worstScale := 1.0
-		if jtype.Adaptive() {
-			worstScale = float64(base) / float64(j.NumNodesMin)
-		}
-		j.WallTimeLimit = cfg.WallTimeFactor * estimateRuntime(iters, computeSecs*worstScale, commBytes, ioBytes, prof.Kind)
-	}
-	return j, nil
-}
-
-// growOrShrink emits a request task whose target depends on the iteration:
-// grow in the first half, shrink in the last tenth.
-func growOrShrink(iters int, grow, shrink Task) Task {
-	model := MustExprModel(fmt.Sprintf(
-		"iteration < %d ? (%s) : (iteration >= %d ? (%s) : num_nodes)",
-		max(1, iters/2), grow.Model.String(), iters-max(1, iters/10), shrink.Model.String()))
-	return Task{Kind: TaskEvolvingRequest, Model: model, Name: "evolve"}
 }
 
 // estimateRuntime is a crude analytic bound used only to derive walltime

@@ -3,6 +3,7 @@ package job
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/unit"
@@ -266,54 +267,136 @@ func ParseWorkload(data []byte, totalNodes int) (*Workload, error) {
 	return w, nil
 }
 
+// jobToJSON converts one job into its serialized form. depLabel resolves
+// dependency IDs to job labels; it may be nil when the job has no
+// dependencies.
+func jobToJSON(j *Job, depLabel func(ID) string) jobJSON {
+	jj := jobJSON{
+		Name:               j.Name,
+		Type:               j.Type,
+		SubmitTime:         unit.Quantity(j.SubmitTime),
+		NumNodes:           j.NumNodes,
+		NumNodesMin:        j.NumNodesMin,
+		NumNodesMax:        j.NumNodesMax,
+		WallTime:           unit.Quantity(j.WallTimeLimit),
+		User:               j.User,
+		ReconfigCost:       j.ReconfigCost,
+		CheckpointInterval: j.CheckpointInterval,
+	}
+	for _, dep := range j.Dependencies {
+		jj.Dependencies = append(jj.Dependencies, depLabel(dep))
+	}
+	if len(j.Args) > 0 {
+		jj.Args = make(map[string]unit.Quantity, len(j.Args))
+		for k, v := range j.Args {
+			jj.Args[k] = unit.Quantity(v)
+		}
+	}
+	for _, p := range j.App.Phases {
+		pj := phaseJSON{
+			Name:            p.Name,
+			Iterations:      p.Iterations,
+			SchedulingPoint: p.SchedulingPoint,
+		}
+		for _, t := range p.Tasks {
+			tj := taskJSON{Type: t.Kind, Name: t.Name, Pattern: t.Pattern, Target: t.Target}
+			switch t.Kind {
+			case TaskCompute:
+				tj.Flops = t.Model
+			case TaskComm, TaskRead, TaskWrite:
+				tj.Bytes = t.Model
+			case TaskDelay:
+				tj.Seconds = t.Model
+			case TaskEvolvingRequest:
+				tj.Nodes = t.Model
+			}
+			pj.Tasks = append(pj.Tasks, tj)
+		}
+		jj.Phases = append(jj.Phases, pj)
+	}
+	return jj
+}
+
 // MarshalJSON serializes the workload into its canonical JSON form.
 func (w *Workload) MarshalJSON() ([]byte, error) {
 	wj := workloadJSON{Name: w.Name}
 	for _, j := range w.Jobs {
-		jj := jobJSON{
-			Name:               j.Name,
-			Type:               j.Type,
-			SubmitTime:         unit.Quantity(j.SubmitTime),
-			NumNodes:           j.NumNodes,
-			NumNodesMin:        j.NumNodesMin,
-			NumNodesMax:        j.NumNodesMax,
-			WallTime:           unit.Quantity(j.WallTimeLimit),
-			User:               j.User,
-			ReconfigCost:       j.ReconfigCost,
-			CheckpointInterval: j.CheckpointInterval,
-		}
-		for _, dep := range j.Dependencies {
-			jj.Dependencies = append(jj.Dependencies, w.Jobs[dep].Label())
-		}
-		if len(j.Args) > 0 {
-			jj.Args = make(map[string]unit.Quantity, len(j.Args))
-			for k, v := range j.Args {
-				jj.Args[k] = unit.Quantity(v)
-			}
-		}
-		for _, p := range j.App.Phases {
-			pj := phaseJSON{
-				Name:            p.Name,
-				Iterations:      p.Iterations,
-				SchedulingPoint: p.SchedulingPoint,
-			}
-			for _, t := range p.Tasks {
-				tj := taskJSON{Type: t.Kind, Name: t.Name, Pattern: t.Pattern, Target: t.Target}
-				switch t.Kind {
-				case TaskCompute:
-					tj.Flops = t.Model
-				case TaskComm, TaskRead, TaskWrite:
-					tj.Bytes = t.Model
-				case TaskDelay:
-					tj.Seconds = t.Model
-				case TaskEvolvingRequest:
-					tj.Nodes = t.Model
-				}
-				pj.Tasks = append(pj.Tasks, tj)
-			}
-			jj.Phases = append(jj.Phases, pj)
-		}
-		wj.Jobs = append(wj.Jobs, jj)
+		wj.Jobs = append(wj.Jobs, jobToJSON(j, func(dep ID) string {
+			return w.Jobs[dep].Label()
+		}))
 	}
 	return json.MarshalIndent(&wj, "", "  ")
+}
+
+// WorkloadWriter emits the canonical workload JSON one job at a time, so
+// a million-job workload serializes in constant memory. For dependency-free
+// workloads the output is byte-identical to Workload.MarshalJSON
+// (dependencies need the whole job list to resolve labels, so streamed
+// jobs must not have any).
+type WorkloadWriter struct {
+	dst     io.Writer
+	name    string
+	n       int
+	started bool
+}
+
+// NewWorkloadWriter starts writing a workload named name to dst.
+func NewWorkloadWriter(dst io.Writer, name string) *WorkloadWriter {
+	return &WorkloadWriter{dst: dst, name: name}
+}
+
+func (ww *WorkloadWriter) begin() error {
+	if ww.started {
+		return nil
+	}
+	ww.started = true
+	if ww.name != "" {
+		label, err := json.Marshal(ww.name)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(ww.dst, "{\n  \"name\": %s,\n  \"jobs\": [", label)
+		return err
+	}
+	_, err := io.WriteString(ww.dst, "{\n  \"jobs\": [")
+	return err
+}
+
+// WriteJob appends one job to the stream.
+func (ww *WorkloadWriter) WriteJob(j *Job) error {
+	if len(j.Dependencies) > 0 {
+		return fmt.Errorf("job: streamed job %s has dependencies; use Workload.MarshalJSON", j.Label())
+	}
+	if err := ww.begin(); err != nil {
+		return err
+	}
+	jj := jobToJSON(j, nil)
+	data, err := json.MarshalIndent(&jj, "    ", "  ")
+	if err != nil {
+		return err
+	}
+	sep := ",\n    "
+	if ww.n == 0 {
+		sep = "\n    "
+	}
+	ww.n++
+	if _, err := io.WriteString(ww.dst, sep); err != nil {
+		return err
+	}
+	_, err = ww.dst.Write(data)
+	return err
+}
+
+// Close terminates the JSON document. It does not close the underlying
+// writer.
+func (ww *WorkloadWriter) Close() error {
+	if err := ww.begin(); err != nil {
+		return err
+	}
+	trailer := "\n  ]\n}"
+	if ww.n == 0 {
+		trailer = "]\n}"
+	}
+	_, err := io.WriteString(ww.dst, trailer)
+	return err
 }

@@ -62,6 +62,10 @@ func (p *Packed) Name() string {
 	return "packed+" + p.base().Name()
 }
 
+// WantsFreeList implements FreeListUser: locality packing picks explicit
+// nodes from the free list.
+func (p *Packed) WantsFreeList() bool { return true }
+
 func (p *Packed) base() Algorithm {
 	if p.Base == nil {
 		return &EASY{}

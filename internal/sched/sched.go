@@ -119,7 +119,10 @@ type Invocation struct {
 	TotalNodes int
 	// FreeList names the free nodes (ascending). Algorithms that care
 	// about placement (locality on tree topologies) can pass explicit
-	// nodes in start decisions; others may ignore it.
+	// nodes in start decisions. Materialising it costs O(total nodes) per
+	// invocation, so the engine only populates it for algorithms that
+	// declare they read it by implementing FreeListUser; for everyone else
+	// it is nil.
 	FreeList []int
 	// GroupSize is the tree topology's nodes-per-leaf-switch (0 when the
 	// network has no locality structure).
@@ -197,8 +200,17 @@ type Algorithm interface {
 	// Name identifies the algorithm in reports.
 	Name() string
 	// Schedule inspects the snapshot and returns decisions. It must not
-	// retain inv or the views.
+	// retain inv or the views: the engine reuses their storage across
+	// invocations.
 	Schedule(inv *Invocation) []Decision
+}
+
+// FreeListUser is an optional Algorithm extension. Implementations that
+// read Invocation.FreeList return true from WantsFreeList; the engine then
+// pays the O(total nodes) cost of materialising the list every invocation.
+// Algorithms not implementing the interface receive a nil FreeList.
+type FreeListUser interface {
+	WantsFreeList() bool
 }
 
 // SizePolicy chooses allocation sizes for moldable (and initial sizes for

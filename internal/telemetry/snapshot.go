@@ -24,10 +24,14 @@ type SolverStats struct {
 
 // SchedulerStats count scheduler invocations and decision outcomes.
 type SchedulerStats struct {
-	Invocations uint64            `json:"invocations"`
-	Applied     uint64            `json:"applied"`
-	Rejected    uint64            `json:"rejected"`
-	ByKind      map[string]uint64 `json:"by_kind,omitempty"`
+	Invocations uint64 `json:"invocations"`
+	// Elided counts same-timestamp invocations the engine batched away
+	// because a prior invocation at that timestamp already saw a
+	// bit-identical snapshot.
+	Elided   uint64            `json:"elided,omitempty"`
+	Applied  uint64            `json:"applied"`
+	Rejected uint64            `json:"rejected"`
+	ByKind   map[string]uint64 `json:"by_kind,omitempty"`
 }
 
 // WallStats hold wall-clock measurements in nanoseconds. They are the only
@@ -72,6 +76,7 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.Solver.Solves += o.Solver.Solves
 	s.Solver.SolvedActivities += o.Solver.SolvedActivities
 	s.Scheduler.Invocations += o.Scheduler.Invocations
+	s.Scheduler.Elided += o.Scheduler.Elided
 	s.Scheduler.Applied += o.Scheduler.Applied
 	s.Scheduler.Rejected += o.Scheduler.Rejected
 	for k, v := range o.Scheduler.ByKind {
@@ -139,6 +144,7 @@ func Diff(a, b Snapshot) []DiffRow {
 			"solver.solves":            float64(s.Solver.Solves),
 			"solver.solved_activities": float64(s.Solver.SolvedActivities),
 			"scheduler.invocations":    float64(s.Scheduler.Invocations),
+			"scheduler.elided":         float64(s.Scheduler.Elided),
 			"scheduler.applied":        float64(s.Scheduler.Applied),
 			"scheduler.rejected":       float64(s.Scheduler.Rejected),
 			"wall.run_ms":              float64(s.Wall.RunNS) / 1e6,
