@@ -194,6 +194,16 @@ type Config struct {
 	Failures *FailureSpec
 	// Options tunes the engine.
 	Options Options
+
+	// Metrics, when set, receives operational counters about the session
+	// (sessions started/finished/aborted, kernel and scheduler totals on
+	// finish) in the shared Prometheus-style registry. Flight, when set,
+	// records session lifecycle events into the crash flight recorder.
+	// Both are runtime-only wiring — never part of a serialized config —
+	// and nil (the default) disables them with no observable effect on
+	// the simulation (pinned by TestObsDoesNotChangeOutputs).
+	Metrics *MetricsRegistry
+	Flight  *FlightRecorder
 }
 
 // Result is the outcome of a run.

@@ -85,6 +85,7 @@ type Session struct {
 	wall     time.Duration
 	internal *InternalError // set once an invariant panic poisons the session
 	result   *Result        // cached once the simulation completed
+	obs      *sessionObs    // operational metrics + flight recorder hooks
 }
 
 // NewSession validates the configuration and builds a simulation without
@@ -112,7 +113,7 @@ func NewSession(cfg Config) (s *Session, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{eng: eng}, nil
+	return &Session{eng: eng, obs: newSessionObs(cfg)}, nil
 }
 
 // guard runs fn, converting an engine invariant panic into an
@@ -127,6 +128,7 @@ func (s *Session) guard(fn func()) (err error) {
 				Stack:   debug.Stack(),
 			}
 			s.internal = ie
+			s.obs.recordPanic(ie)
 			err = ie
 		}
 	}()
@@ -165,9 +167,11 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	if reason == AbortCancelled || reason == AbortDeadline {
+		s.obs.recordAbort(reason)
 		return res, ctx.Err()
 	}
 	s.result = res
+	s.obs.recordFinish(s, res, reason)
 	return res, nil
 }
 
@@ -190,6 +194,7 @@ func (s *Session) RunUntil(ctx context.Context, t float64) (AbortReason, error) 
 		return reason, err
 	}
 	if reason == AbortCancelled || reason == AbortDeadline {
+		s.obs.recordAbort(reason)
 		return reason, ctx.Err()
 	}
 	return reason, nil
@@ -263,6 +268,7 @@ func (s *Session) Result() (*Result, error) {
 	}
 	if reason == AbortDrained {
 		s.result = res
+		s.obs.recordFinish(s, res, reason)
 	}
 	return res, nil
 }

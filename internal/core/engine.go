@@ -441,6 +441,12 @@ func (e *Engine) Now() float64 { return float64(e.kernel.Now()) }
 // Steps returns the number of kernel events executed.
 func (e *Engine) Steps() uint64 { return e.kernel.Steps() }
 
+// KernelStats samples the DES kernel's lifetime counters (events
+// scheduled/fired/cancelled, queue high-water mark, ladder re-bucketing
+// activity). Operational metrics export these directly instead of
+// re-counting on the hot path.
+func (e *Engine) KernelStats() des.KernelStats { return e.kernel.Stats() }
+
 // Invocations returns how many times the algorithm was invoked.
 func (e *Engine) Invocations() uint64 { return e.invocations }
 

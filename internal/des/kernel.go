@@ -173,18 +173,25 @@ func (k *Kernel) Steps() uint64 { return k.steps }
 func (k *Kernel) Pending() int { return k.queue.Len() - k.tombs }
 
 // KernelStats are the kernel's lifetime counters, for self-profiling.
+// TopTransfers and RungSpawns describe the ladder queue's re-bucketing
+// activity and stay zero on the reference heap kernel; they are exported
+// for operational metrics only and are deliberately NOT part of the
+// telemetry snapshot, which must stay byte-identical across queue
+// implementations.
 type KernelStats struct {
-	Scheduled uint64 // events ever enqueued (including recycled allocations)
-	Fired     uint64 // events popped and executed
-	Cancelled uint64 // events tombstoned before firing
-	Recycled  uint64 // Schedule calls served from the free list
-	PeakQueue int    // high-water mark of the queue, tombstones included
-	Pending   int    // live events still queued at sample time
+	Scheduled    uint64 // events ever enqueued (including recycled allocations)
+	Fired        uint64 // events popped and executed
+	Cancelled    uint64 // events tombstoned before firing
+	Recycled     uint64 // Schedule calls served from the free list
+	PeakQueue    int    // high-water mark of the queue, tombstones included
+	Pending      int    // live events still queued at sample time
+	TopTransfers uint64 // ladder overflow lists spread into rungs/bottom
+	RungSpawns   uint64 // ladder buckets subdivided into finer rungs
 }
 
 // Stats samples the kernel's counters.
 func (k *Kernel) Stats() KernelStats {
-	return KernelStats{
+	s := KernelStats{
 		Scheduled: k.seq,
 		Fired:     k.steps,
 		Cancelled: k.cancelled,
@@ -192,6 +199,11 @@ func (k *Kernel) Stats() KernelStats {
 		PeakQueue: k.peakQueue,
 		Pending:   k.Pending(),
 	}
+	if lq, ok := k.queue.(*ladderQueue); ok {
+		s.TopTransfers = lq.topTransfers
+		s.RungSpawns = lq.rungSpawns
+	}
+	return s
 }
 
 // SetProgress installs a callback invoked after every n fired events.

@@ -92,6 +92,13 @@ type ladderQueue struct {
 	count    int
 	onDrop   func(*Event) // kernel hook: tombstone discarded
 	pool     [][]*Event   // recycled bucket slices
+
+	// Re-bucketing counters, exported through KernelStats for operational
+	// observability. They count structural work (cold paths only — a
+	// transfer or spawn touches many events at once) and never influence
+	// routing, so the ladder's fire order is untouched.
+	topTransfers uint64 // overflow list spread over a rung / the bottom
+	rungSpawns   uint64 // overloaded bucket subdivided into a finer rung
 }
 
 func newLadderQueue(onDrop func(*Event)) *ladderQueue {
@@ -208,6 +215,7 @@ func (l *ladderQueue) serveBucket(b []*Event) {
 	}
 	if len(live) > ladderSpawnThreshold && maxT > minT && len(l.rungs) < ladderMaxRungs {
 		if r := newRung(minT, maxT, len(live)); r != nil {
+			l.rungSpawns++
 			l.rungs = append(l.rungs, r)
 			for _, ev := range live {
 				l.rungInsert(r, r.bucketFor(float64(ev.time)), ev)
@@ -248,8 +256,10 @@ func (l *ladderQueue) transferTop() {
 		return
 	}
 	l.topStart = math.Nextafter(maxT, math.Inf(1))
+	l.topTransfers++
 	if len(live) > ladderTopDumpMin && maxT > minT {
 		if r := newRung(minT, maxT, len(live)); r != nil {
+			l.rungSpawns++
 			l.rungs = append(l.rungs, r)
 			for _, ev := range live {
 				l.rungInsert(r, r.bucketFor(float64(ev.time)), ev)

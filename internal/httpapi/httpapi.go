@@ -51,11 +51,13 @@ type Server struct {
 	pausePoll  time.Duration
 	chunk      int
 	chunkDelay time.Duration
+
+	obsState
 }
 
 // New creates a Server over queue, writing job artifacts under dataDir.
 func New(queue *jobqueue.Queue, dataDir string) *Server {
-	return &Server{
+	s := &Server{
 		queue:     queue,
 		dataDir:   dataDir,
 		live:      make(map[string]*liveRun),
@@ -63,6 +65,8 @@ func New(queue *jobqueue.Queue, dataDir string) *Server {
 		pausePoll: 250 * time.Millisecond,
 		chunk:     stepChunk,
 	}
+	s.bootID = fmt.Sprintf("%x", time.Now().UnixNano())
+	return s
 }
 
 func (s *Server) register(id string, lr *liveRun) {
@@ -96,20 +100,30 @@ func (s *Server) cancelRequested(id string) bool {
 	return s.cancelled[id]
 }
 
-// Handler builds the route table.
+// Handler builds the route table. Every route — probes and metrics
+// included — goes through the instrument middleware, so each gets a
+// request counter, a latency histogram, an access-log line, and an
+// X-Request-ID echo. Route labels are pinned here at registration, the
+// only place Go's mux knows the pattern.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.handleSubmit)
-	mux.HandleFunc("GET /v1/sessions", s.handleList)
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
-	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
-	mux.HandleFunc("POST /v1/sessions/{id}/pause", s.handleCtrl(opPause))
-	mux.HandleFunc("POST /v1/sessions/{id}/resume", s.handleCtrl(opResume))
-	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleCtrl(opStep))
-	mux.HandleFunc("POST /v1/sessions/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleArtifact("result.json", "application/json"))
-	mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleArtifact("trace.json", "application/json"))
-	mux.HandleFunc("GET /v1/sessions/{id}/gantt.svg", s.handleArtifact("gantt.svg", "image/svg+xml"))
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("POST /v1/sessions", s.handleSubmit)
+	route("GET /v1/sessions", s.handleList)
+	route("GET /v1/sessions/{id}", s.handleGet)
+	route("GET /v1/sessions/{id}/events", s.handleEvents)
+	route("POST /v1/sessions/{id}/pause", s.handleCtrl(opPause))
+	route("POST /v1/sessions/{id}/resume", s.handleCtrl(opResume))
+	route("POST /v1/sessions/{id}/step", s.handleCtrl(opStep))
+	route("POST /v1/sessions/{id}/cancel", s.handleCancel)
+	route("GET /v1/sessions/{id}/result", s.handleArtifact("result.json", "application/json"))
+	route("GET /v1/sessions/{id}/trace", s.handleArtifact("trace.json", "application/json"))
+	route("GET /v1/sessions/{id}/gantt.svg", s.handleArtifact("gantt.svg", "image/svg+xml"))
+	route("GET /metrics", s.handleMetrics)
+	route("GET /healthz", s.handleHealthz)
+	route("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -302,6 +316,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+	s.sse.Add(1)
+	defer s.sse.Add(-1)
 
 	emit := func(event string, v any) {
 		data, _ := json.Marshal(v)

@@ -17,6 +17,7 @@ import (
 
 	"repro/elastisim"
 	"repro/internal/jobqueue"
+	"repro/internal/obs"
 )
 
 // fastConfigDoc finishes in milliseconds — used wherever the test only
@@ -62,20 +63,26 @@ const slowConfigDoc = `{
 // frontend, torn down in reverse order on cleanup.
 func testServer(t *testing.T, journal string, workers int) (*Server, *httptest.Server) {
 	t.Helper()
+	// Observability is attached in every test: the instrumented paths run
+	// under the full e2e suite (including -race), and the lifecycle test's
+	// byte-identical result check doubles as the service-level pin that
+	// metrics collection does not perturb simulations.
+	qopts := jobqueue.Options{Metrics: obs.NewRegistry(), Flight: obs.NewFlightRecorder(256)}
 	var q *jobqueue.Queue
 	var err error
 	if journal != "" {
-		q, err = jobqueue.Open(journal, jobqueue.Options{})
+		q, err = jobqueue.Open(journal, qopts)
 		if err != nil {
 			t.Fatal(err)
 		}
 	} else {
-		q = jobqueue.New(jobqueue.Options{})
+		q = jobqueue.New(qopts)
 	}
 	s := New(q, t.TempDir())
 	s.chunk = 256
 	s.pausePoll = 10 * time.Millisecond
 	s.chunkDelay = 3 * time.Millisecond
+	s.Observe(qopts.Metrics, qopts.Flight)
 	pool := jobqueue.NewPool(q, workers, s.RunJob)
 	ctx, cancel := context.WithCancel(context.Background())
 	pool.Start(ctx)

@@ -3,6 +3,7 @@ package httpapi
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -54,6 +55,8 @@ func (s *Server) RunJob(ctx context.Context, q *jobqueue.Queue, job jobqueue.Job
 	}
 	fan := &elastisim.ProgressFanOut{}
 	cfg.Options.Progress = fan
+	cfg.Metrics = s.reg
+	cfg.Flight = s.flight
 	session, err := elastisim.NewSession(cfg)
 	if err != nil {
 		return "", err
@@ -111,6 +114,7 @@ func (s *Server) RunJob(ctx context.Context, q *jobqueue.Queue, job jobqueue.Job
 		}
 		fired, err := session.Step(s.chunk)
 		if err != nil {
+			s.dumpPostmortem(job.ID, err)
 			return "", err
 		}
 		_ = q.Heartbeat(job.ID, job.Worker)
@@ -123,9 +127,31 @@ func (s *Server) RunJob(ctx context.Context, q *jobqueue.Queue, job jobqueue.Job
 	}
 
 	if _, err := session.Result(); err != nil {
+		s.dumpPostmortem(job.ID, err)
 		return "", err
 	}
 	return s.writeArtifacts(job.ID, session, cfg)
+}
+
+// dumpPostmortem writes the flight recorder's postmortem artifact next to
+// the job's other artifacts when a run died of an engine invariant panic
+// (*elastisim.InternalError). Failures to write are swallowed: the
+// postmortem is best-effort evidence, the job error is authoritative.
+func (s *Server) dumpPostmortem(id string, runErr error) {
+	var ie *elastisim.InternalError
+	if s.flight == nil || !errors.As(runErr, &ie) {
+		return
+	}
+	dir := filepath.Join(s.dataDir, "jobs", id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, "postmortem.json"))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_ = s.flight.WritePostmortem(f, "panic", fmt.Sprintf("job %s: %v", id, ie), s.reg)
 }
 
 // applyCtrl executes one control request on behalf of the worker.

@@ -25,6 +25,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // State is a job's lifecycle state.
@@ -101,6 +103,13 @@ type Options struct {
 	Lease time.Duration
 	// Now overrides the clock (tests).
 	Now func() time.Time
+	// Metrics, when set, receives the queue's operational series: jobs by
+	// state (callback gauges over the live store), submission/claim/lease
+	// counters, and journal fsync latency. Flight, when set, records every
+	// journaled state transition into the crash flight recorder. Both nil
+	// (the default) detach observability at zero cost.
+	Metrics *obs.Registry
+	Flight  *obs.FlightRecorder
 }
 
 func (o Options) withDefaults() Options {
@@ -125,12 +134,14 @@ type Queue struct {
 	journal *journal
 	opts    Options
 	closed  bool
+	m       queueMetrics
 }
 
 // New creates a memory-only queue (no journal).
 func New(opts Options) *Queue {
 	q := &Queue{jobs: make(map[string]*Job), opts: opts.withDefaults()}
 	q.cond = sync.NewCond(&q.mu)
+	q.m = newQueueMetrics(q, q.opts)
 	return q
 }
 
@@ -159,6 +170,7 @@ func Open(path string, opts Options) (*Queue, error) {
 	if err != nil {
 		return nil, err
 	}
+	jr.fsync = q.m.fsync
 	q.journal = jr
 	return q, nil
 }
@@ -173,10 +185,18 @@ func (q *Queue) snapshotLocked() []*Job {
 	return out
 }
 
-// record journals the job's current state. Callers hold q.mu.
+// record journals the job's current state and mirrors the transition
+// into the flight recorder. Callers hold q.mu.
 func (q *Queue) record(j *Job) {
 	if q.journal != nil {
 		q.journal.append(j)
+	}
+	if q.m.flight != nil {
+		if j.Worker != "" {
+			q.m.flight.Recordf("jobqueue", "%s -> %s (%s, attempt %d)", j.ID, j.State, j.Worker, j.Attempts)
+		} else {
+			q.m.flight.Recordf("jobqueue", "%s -> %s", j.ID, j.State)
+		}
 	}
 }
 
@@ -196,6 +216,7 @@ func (q *Queue) Submit(config json.RawMessage) (Job, error) {
 	}
 	q.jobs[j.ID] = j
 	q.order = append(q.order, j.ID)
+	q.m.submitted.Inc()
 	q.record(j)
 	q.cond.Broadcast()
 	return *j, nil
@@ -238,6 +259,7 @@ func (q *Queue) expireLocked(now time.Time) int {
 		}
 	}
 	if n > 0 {
+		q.m.expirations.Add(uint64(n))
 		q.cond.Broadcast()
 	}
 	return n
@@ -271,6 +293,7 @@ func (q *Queue) tryClaimLocked(worker string) (Job, bool) {
 			j.Lease = now.Add(q.opts.Lease)
 			j.Attempts++
 			j.Note = ""
+			q.m.claims.Inc()
 			q.record(j)
 			return *j, true
 		}
@@ -324,6 +347,7 @@ func (q *Queue) Heartbeat(id, worker string) error {
 		return err
 	}
 	j.Lease = q.opts.Now().Add(q.opts.Lease)
+	q.m.heartbeats.Inc()
 	return nil
 }
 
@@ -390,6 +414,7 @@ func (q *Queue) finish(id, worker string, s State, result, errMsg string) error 
 	j.Finished = q.opts.Now()
 	j.Result = result
 	j.Error = errMsg
+	q.m.finished[s].Inc()
 	q.record(j)
 	q.cond.Broadcast()
 	return nil
@@ -410,6 +435,7 @@ func (q *Queue) Release(id, worker, note string) error {
 	j.Worker = ""
 	j.Lease = time.Time{}
 	j.Note = note
+	q.m.releases.Inc()
 	q.record(j)
 	q.cond.Broadcast()
 	return nil
@@ -430,6 +456,7 @@ func (q *Queue) Cancel(id string) (State, error) {
 	if j.State == StatePending {
 		j.State = StateCancelled
 		j.Finished = q.opts.Now()
+		q.m.finished[StateCancelled].Inc()
 		q.record(j)
 	}
 	return j.State, nil

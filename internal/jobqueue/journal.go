@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The journal is a JSONL file of job snapshots: every state transition
@@ -21,10 +23,11 @@ import (
 // journal.jsonl` is the job's complete history.
 
 type journal struct {
-	mu  sync.Mutex
-	f   *os.File
-	w   *bufio.Writer
-	err error // first write error; subsequent appends are dropped
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	err   error          // first write error; subsequent appends are dropped
+	fsync *obs.Histogram // per-append write+flush+fsync latency (nil = detached)
 }
 
 // replayJournal reads the journal at path (missing file = empty queue)
@@ -172,6 +175,10 @@ func (jr *journal) append(j *Job) {
 	if jr.err != nil {
 		return
 	}
+	var start time.Time
+	if jr.fsync != nil {
+		start = time.Now()
+	}
 	if err := writeRecord(jr.w, j); err != nil {
 		jr.err = err
 		return
@@ -181,6 +188,9 @@ func (jr *journal) append(j *Job) {
 		return
 	}
 	jr.err = jr.f.Sync()
+	if jr.fsync != nil {
+		jr.fsync.Observe(time.Since(start).Seconds())
+	}
 }
 
 func (jr *journal) close() error {

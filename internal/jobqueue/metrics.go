@@ -1,0 +1,77 @@
+package jobqueue
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// States lists every lifecycle state, in lifecycle order. Exported for
+// consumers that enumerate per-state series (the daemon's /metrics).
+var States = []State{
+	StatePending, StateClaimed, StateRunning, StatePaused,
+	StateDone, StateFailed, StateCancelled,
+}
+
+// queueMetrics holds the queue's precreated instruments. Every field is
+// nil when observability is detached, and every obs method is nil-safe,
+// so the hot paths carry no conditionals.
+//
+// Instruments are created here, up front, and never from inside a queue
+// method: per-state gauges are callback-backed and take q.mu at scrape
+// time, so creating a series while holding q.mu would invert the lock
+// order against a concurrent scrape.
+type queueMetrics struct {
+	flight      *obs.FlightRecorder
+	submitted   *obs.Counter
+	claims      *obs.Counter
+	expirations *obs.Counter
+	heartbeats  *obs.Counter
+	releases    *obs.Counter
+	finished    map[State]*obs.Counter // terminal-state transitions
+	fsync       *obs.Histogram
+}
+
+func newQueueMetrics(q *Queue, o Options) queueMetrics {
+	m := queueMetrics{flight: o.Flight}
+	reg := o.Metrics
+	if reg == nil {
+		return m
+	}
+	reg.Help("elastisimd_jobs", "jobs currently in each lifecycle state")
+	reg.Help("elastisimd_jobs_finished_total", "jobs that reached a terminal state")
+	reg.Help("elastisimd_lease_expirations_total", "claims lost to a lapsed lease and requeued")
+	reg.Help("elastisimd_journal_fsync_seconds", "latency of one journaled transition (write+flush+fsync)")
+	for _, st := range States {
+		st := st
+		reg.Gauge(fmt.Sprintf("elastisimd_jobs{state=%q}", st), func() float64 {
+			return float64(q.countState(st))
+		})
+	}
+	m.submitted = reg.Counter("elastisimd_jobs_submitted_total")
+	m.claims = reg.Counter("elastisimd_job_claims_total")
+	m.expirations = reg.Counter("elastisimd_lease_expirations_total")
+	m.heartbeats = reg.Counter("elastisimd_heartbeats_total")
+	m.releases = reg.Counter("elastisimd_job_releases_total")
+	m.finished = make(map[State]*obs.Counter)
+	for _, st := range []State{StateDone, StateFailed, StateCancelled} {
+		m.finished[st] = reg.Counter(fmt.Sprintf("elastisimd_jobs_finished_total{state=%q}", st))
+	}
+	m.fsync = reg.Histogram("elastisimd_journal_fsync_seconds", obs.DefLatencyBuckets)
+	return m
+}
+
+// countState tallies jobs currently in state st (sampled at scrape time
+// by the per-state callback gauges — the gauge reads the store the queue
+// already maintains instead of keeping a parallel count).
+func (q *Queue) countState(st State) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, j := range q.jobs {
+		if j.State == st {
+			n++
+		}
+	}
+	return n
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrInterrupted is returned by a Runner whose job was interrupted by
@@ -39,16 +40,25 @@ type Pool struct {
 	queue   *Queue
 	run     Runner
 	workers int
+	busy    atomic.Int64 // workers currently executing a claimed job
 
 	wg sync.WaitGroup
 }
 
-// NewPool creates a pool of n workers (n <= 0 selects GOMAXPROCS).
+// NewPool creates a pool of n workers (n <= 0 selects GOMAXPROCS). When
+// the queue carries a metrics registry, the pool exports its size and a
+// live occupancy gauge.
 func NewPool(q *Queue, n int, run Runner) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{queue: q, run: run, workers: n}
+	p := &Pool{queue: q, run: run, workers: n}
+	if reg := q.opts.Metrics; reg != nil {
+		reg.Help("elastisimd_workers_busy", "pool workers currently executing a claimed job")
+		reg.Gauge("elastisimd_workers", nil).Set(float64(n))
+		reg.Gauge("elastisimd_workers_busy", func() float64 { return float64(p.busy.Load()) })
+	}
+	return p
 }
 
 // Workers reports the pool size.
@@ -77,7 +87,9 @@ func (p *Pool) work(ctx context.Context, name string) {
 		if err != nil {
 			return // ctx done or queue closed
 		}
+		p.busy.Add(1)
 		result, runErr := p.run(ctx, p.queue, job)
+		p.busy.Add(-1)
 		// Settlement errors are tolerated: the only way these transitions
 		// fail is the benign race where the job's lease expired mid-run
 		// and a newer claim owns it — then the newer claim wins.

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpositionStats summarizes a validated Prometheus text exposition.
+type ExpositionStats struct {
+	// Families maps each metric family to its declared TYPE ("untyped"
+	// when samples appeared without a TYPE line).
+	Families map[string]string
+	// Series is the number of sample lines.
+	Series int
+}
+
+// HasFamily reports whether the exposition contains the family (counting
+// histogram families by their base name).
+func (s ExpositionStats) HasFamily(name string) bool {
+	_, ok := s.Families[name]
+	return ok
+}
+
+// SortedFamilies lists family names in order.
+func (s ExpositionStats) SortedFamilies() []string {
+	out := make([]string, 0, len(s.Families))
+	for f := range s.Families {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateExposition machine-checks a Prometheus text exposition
+// (version 0.0.4): metric and label name syntax, quoted label values,
+// parseable sample values, TYPE declared at most once per family and
+// before its samples, no duplicate series, and histogram sample names
+// (_bucket/_sum/_count) consistent with their TYPE. It is the validator
+// behind cmd/obscheck and the CI /metrics scrape.
+func ValidateExposition(r io.Reader) (ExpositionStats, error) {
+	stats := ExpositionStats{Families: make(map[string]string)}
+	seen := make(map[string]bool) // full series incl. labels
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkCommentLine(line, stats.Families); err != nil {
+				return stats, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := splitSample(line)
+		if err != nil {
+			return stats, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return stats, fmt.Errorf("line %d: sample value %q: %w", lineNo, value, err)
+		}
+		fam, err := sampleFamily(name, labels, stats.Families)
+		if err != nil {
+			return stats, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, ok := stats.Families[fam]; !ok {
+			stats.Families[fam] = "untyped"
+		}
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			return stats, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		stats.Series++
+	}
+	if err := sc.Err(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// checkCommentLine validates # HELP / # TYPE lines and records TYPEs.
+func checkCommentLine(line string, families map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if prev, ok := families[name]; ok {
+			if prev != "untyped" {
+				return fmt.Errorf("family %s declared TYPE twice (or TYPE after samples)", name)
+			}
+			return fmt.Errorf("family %s: TYPE line after its samples", name)
+		}
+		families[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	}
+	return nil
+}
+
+// splitSample splits "name{labels} value [timestamp]" into parts,
+// validating name and label syntax.
+func splitSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if open := strings.IndexByte(rest, '{'); open >= 0 {
+		closeIdx := closingBrace(rest, open)
+		if closeIdx < 0 {
+			return "", "", "", fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		name, labels, rest = rest[:open], rest[open+1:closeIdx], rest[closeIdx+1:]
+		if err := validateSampleLabels(labels); err != nil {
+			return "", "", "", err
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", "", "", fmt.Errorf("sample %q has no value", line)
+		}
+		name, rest = rest[:sp], rest[sp:]
+	}
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", "", fmt.Errorf("sample %q: want 'name value [timestamp]'", line)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", "", fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
+		}
+	}
+	return name, labels, fields[0], nil
+}
+
+// closingBrace finds the index of the '}' ending the label block that
+// opens at s[open], skipping braces inside double-quoted label values
+// (route patterns like "/v1/sessions/{id}" are legal values). Returns -1
+// when the block never closes.
+func closingBrace(s string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// validateSampleLabels is validateLabels plus permission for the reserved
+// le label (histogram buckets carry it).
+func validateSampleLabels(block string) error {
+	rest := block
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("label %q: missing '='", rest)
+		}
+		key := rest[:eq]
+		if key != "le" && !validLabelName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("label %q: value must be double-quoted", key)
+		}
+		end := strings.IndexByte(rest[1:], '"')
+		if end < 0 {
+			return fmt.Errorf("label %q: unterminated value", key)
+		}
+		rest = rest[end+2:]
+		if rest != "" {
+			if rest[0] != ',' {
+				return fmt.Errorf("labels: expected ',' at %q", rest)
+			}
+			rest = rest[1:]
+		}
+	}
+	return nil
+}
+
+// sampleFamily resolves a sample name to its family: histogram samples
+// end in _bucket/_sum/_count and belong to the declared histogram family;
+// everything else is its own family. A _bucket sample without a histogram
+// TYPE (or without an le label) is an error.
+func sampleFamily(name, labels string, families map[string]string) (string, error) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if typ, ok := families[base]; ok && (typ == "histogram" || typ == "summary") {
+			if suffix == "_bucket" && !strings.Contains(labels, `le="`) {
+				return "", fmt.Errorf("histogram sample %s lacks an le label", name)
+			}
+			return base, nil
+		}
+	}
+	if strings.HasSuffix(name, "_bucket") {
+		return "", fmt.Errorf("sample %s: _bucket series without a histogram TYPE", name)
+	}
+	if typ, ok := families[name]; ok && (typ == "histogram" || typ == "summary") {
+		return "", fmt.Errorf("family %s is a %s but has a bare sample line", name, typ)
+	}
+	return name, nil
+}

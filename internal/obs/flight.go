@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FlightEntry is one recorded system event: a wall-clock timestamp, a
+// category (the subsystem that recorded it), and a preformatted message.
+type FlightEntry struct {
+	Wall time.Time `json:"t"`
+	Seq  uint64    `json:"seq"`
+	Cat  string    `json:"cat"`
+	Msg  string    `json:"msg"`
+}
+
+// FlightRecorder keeps the last N system events — kernel progress
+// samples, scheduler decisions, job-queue state transitions, HTTP
+// anomalies — in a fixed ring, cheap enough to leave on permanently.
+// When the process panics, aborts, or receives SIGQUIT, the ring is
+// dumped as a postmortem JSON artifact: the black box that explains what
+// the system was doing in its final moments.
+//
+// Recording is lock-cheap: messages are formatted *outside* the critical
+// section, the ring is preallocated, and the lock is held only to copy
+// one entry. The nil recorder ignores every call, so instrumented code
+// needs no guards (the PR 3 nil-Tracer idiom).
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []FlightEntry
+	next uint64 // total entries ever recorded; ring index = next % len
+}
+
+// DefaultFlightSize is the ring capacity NewFlightRecorder uses for n<=0.
+const DefaultFlightSize = 512
+
+// NewFlightRecorder creates a recorder keeping the last n entries
+// (DefaultFlightSize when n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightSize
+	}
+	return &FlightRecorder{ring: make([]FlightEntry, n)}
+}
+
+// Record appends one entry. Safe for concurrent use; never blocks beyond
+// the one-entry copy.
+func (f *FlightRecorder) Record(cat, msg string) {
+	if f == nil {
+		return
+	}
+	now := time.Now()
+	f.mu.Lock()
+	i := f.next % uint64(len(f.ring))
+	f.ring[i] = FlightEntry{Wall: now, Seq: f.next, Cat: cat, Msg: msg}
+	f.next++
+	f.mu.Unlock()
+}
+
+// Recordf formats and appends one entry. The formatting happens before
+// the lock is taken.
+func (f *FlightRecorder) Recordf(cat, format string, args ...any) {
+	if f == nil {
+		return
+	}
+	f.Record(cat, fmt.Sprintf(format, args...))
+}
+
+// Total returns how many entries were ever recorded (including ones the
+// ring has since overwritten).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+// Snapshot returns the retained entries, oldest first.
+func (f *FlightRecorder) Snapshot() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := uint64(len(f.ring))
+	start := uint64(0)
+	count := f.next
+	if f.next > n {
+		start = f.next - n
+		count = n
+	}
+	out := make([]FlightEntry, 0, count)
+	for s := start; s < f.next; s++ {
+		out = append(out, f.ring[s%n])
+	}
+	return out
+}
+
+// Postmortem is the JSON artifact a dump produces: why it was written,
+// when, the retained flight entries, and (optionally) a full metrics
+// exposition so counters survive the crash alongside the event ring.
+type Postmortem struct {
+	Reason   string        `json:"reason"`
+	Detail   string        `json:"detail,omitempty"`
+	At       time.Time     `json:"at"`
+	Recorded uint64        `json:"recorded_total"`
+	Entries  []FlightEntry `json:"entries"`
+	Metrics  string        `json:"metrics,omitempty"`
+}
+
+// WritePostmortem renders the postmortem artifact to w. reg may be nil.
+func (f *FlightRecorder) WritePostmortem(w io.Writer, reason, detail string, reg *Registry) error {
+	pm := Postmortem{
+		Reason:   reason,
+		Detail:   detail,
+		At:       time.Now(),
+		Recorded: f.Total(),
+		Entries:  f.Snapshot(),
+	}
+	if reg != nil {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err == nil {
+			pm.Metrics = sb.String()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pm)
+}
+
+// DumpFile writes the postmortem artifact into dir (created if needed) as
+// postmortem-<reason>-<unixnano>.json and returns the path.
+func (f *FlightRecorder) DumpFile(dir, reason, detail string, reg *Registry) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("postmortem-%s-%d.json", reason, time.Now().UnixNano()))
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := f.WritePostmortem(file, reason, detail, reg); err != nil {
+		file.Close()
+		return "", err
+	}
+	return path, file.Close()
+}

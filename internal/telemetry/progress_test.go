@@ -102,3 +102,66 @@ func TestProgressFanOutSlowSubscriber(t *testing.T) {
 		t.Fatalf("slow subscriber final update = %+v, want done with 1000 events", last)
 	}
 }
+
+// TestProgressFanOutStalledAmongActive pins subscriber isolation under
+// concurrency (run with -race): one subscriber never reads while others
+// consume continuously; the ticker must never block, the active
+// subscribers must see a monotone stream ending in Done, and the stalled
+// channel must still hold the final update afterwards.
+func TestProgressFanOutStalledAmongActive(t *testing.T) {
+	fan := &ProgressFanOut{}
+	const ticks = 20000
+
+	stalled, cancelStalled := fan.Subscribe(1)
+	defer cancelStalled()
+
+	const active = 4
+	var wg sync.WaitGroup
+	finals := make([]ProgressUpdate, active)
+	for i := 0; i < active; i++ {
+		ch, cancel := fan.Subscribe(2)
+		wg.Add(1)
+		go func(i int, ch <-chan ProgressUpdate) {
+			defer wg.Done()
+			defer cancel()
+			var last ProgressUpdate
+			for u := range ch {
+				if u.Events < last.Events {
+					t.Errorf("active subscriber %d: events went backwards", i)
+					return
+				}
+				last = u
+			}
+			finals[i] = last
+		}(i, ch)
+	}
+
+	// Tick from a separate goroutine so subscriber reads genuinely race
+	// the publisher; the main goroutine bounds the whole run with a
+	// test timeout instead of trusting Tick never to block.
+	tickerDone := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		for i := 1; i <= ticks; i++ {
+			fan.Tick(float64(i), uint64(i))
+		}
+		fan.Done()
+	}()
+	<-tickerDone
+	wg.Wait()
+
+	for i, u := range finals {
+		if !u.Done || u.Events != ticks {
+			t.Errorf("active subscriber %d final = %+v, want done at %d", i, u, ticks)
+		}
+	}
+	// The stalled subscriber lost intermediate updates (by design) but its
+	// channel delivers the final state and closes.
+	var last ProgressUpdate
+	for u := range stalled {
+		last = u
+	}
+	if !last.Done || last.Events != ticks {
+		t.Errorf("stalled subscriber drained to %+v, want done at %d", last, ticks)
+	}
+}
