@@ -16,8 +16,10 @@
 //
 // Observability (see README "Monitoring elastisimd"):
 //
-//	GET /metrics   Prometheus text exposition: job queue, worker pool,
-//	               HTTP, and simulation-kernel series
+//	GET /metrics   Prometheus text exposition: job queue (states, claims,
+//	               steals, lease expirations, journal fsync/compaction/
+//	               error counters), worker pool, HTTP, and
+//	               simulation-kernel series
 //	GET /healthz   liveness (200 while the process serves)
 //	GET /readyz    readiness (503 once the graceful drain begins)
 //

@@ -13,19 +13,50 @@
 // Ctrl-C stops the sweep gracefully: in-flight simulations stop between
 // events, the CSV rows of every completed cell are flushed to stdout, and
 // the process exits with code 130.
+//
+// # Journaled and resumable sweeps
+//
+// With -journal the grid runs through the distwork core: every cell is a
+// journaled task, and a killed sweep restarted with -resume re-runs only
+// the cells that had not finished — completed cells replay from the
+// journal. Journaled results are canonicalized (wall_ms is 0), so the
+// resumed CSV is byte-identical to an uninterrupted run.
+//
+//	sweep -journal grid.jsonl > grid.csv            # start
+//	sweep -journal grid.jsonl -resume > grid.csv    # continue after a kill
+//
+// # Distributed sweeps
+//
+// A coordinator leases cells to remote workers over HTTP; workers claim,
+// heartbeat, and return cell results. A worker that dies mid-cell stops
+// heartbeating, its lease expires, and the cell is stolen by a survivor.
+//
+//	sweep -serve 127.0.0.1:9180 -journal grid.jsonl > grid.csv
+//	sweep -connect http://127.0.0.1:9180 -worker-name w1 &
+//	sweep -connect http://127.0.0.1:9180 -worker-name w2 &
+//
+// The coordinator also serves GET /metrics (sweep_cell_claims_total,
+// sweep_cell_steals_total, sweep_lease_expirations_total, ...).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cli"
+	"repro/internal/distwork"
 	"repro/internal/experiments"
+	"repro/internal/httpapi"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -42,8 +73,21 @@ func run(ctx context.Context) error {
 		progress     = flag.Bool("progress", false, "print per-cell progress to stderr")
 		telemetryOut = flag.String("telemetry-out", "", "write the aggregated self-profiling snapshot JSON to this path")
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		journalPath  = flag.String("journal", "", "journal grid cells to this JSONL file (resumable)")
+		resume       = flag.Bool("resume", false, "continue an existing -journal instead of refusing to overwrite it")
+		serveAddr    = flag.String("serve", "", "coordinator mode: lease cells to HTTP workers on this address")
+		connectURL   = flag.String("connect", "", "worker mode: claim cells from this coordinator URL")
+		workerName   = flag.String("worker-name", "", "worker name in -connect mode (default worker-<pid>)")
+		lease        = flag.Duration("lease", time.Minute, "claim lease for journaled/distributed cells")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" && *connectURL != "" {
+		return cli.Usagef("-serve and -connect are mutually exclusive")
+	}
+	if *resume && *journalPath == "" {
+		return cli.Usagef("-resume requires -journal")
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -55,6 +99,10 @@ func run(ctx context.Context) error {
 		}
 		defer f.Close()
 		defer pprof.StopCPUProfile()
+	}
+
+	if *connectURL != "" {
+		return runWorker(ctx, *connectURL, *workerName)
 	}
 
 	cfg := experiments.SweepConfig{Jobs: *jobs, Nodes: *nodes, Workers: *workers}
@@ -78,23 +126,34 @@ func run(ctx context.Context) error {
 	if *progress {
 		cells := len(cfg.Algorithms) * len(cfg.Shares) * len(cfg.Seeds)
 		prog = &telemetry.CellProgress{W: os.Stderr, Total: cells}
-		cfg.OnCellDone = prog.CellDone
 	}
-	pts, done, err := experiments.SweepContext(ctx, cfg)
+
+	var (
+		pts  []experiments.SweepPoint
+		done []bool
+		err  error
+	)
+	switch {
+	case *serveAddr != "":
+		pts, done, err = runCoordinator(ctx, *serveAddr, *journalPath, cfg, *resume, *lease, prog)
+	case *journalPath != "":
+		pts, done, err = runJournaled(ctx, *journalPath, cfg, *resume, *lease, prog)
+	default:
+		if prog != nil {
+			cfg.OnCellDone = prog.CellDone
+		}
+		pts, done, err = experiments.SweepContext(ctx, cfg)
+	}
 	if prog != nil {
 		prog.Done()
 	}
 	if err != nil && ctx.Err() == nil {
 		return err
 	}
-	// Keep the rows of completed cells — on interrupt that's the partial
-	// grid worth flushing; on a clean run it's everything.
-	completed := pts[:0:0]
-	for i, d := range done {
-		if d {
-			completed = append(completed, pts[i])
-		}
-	}
+	// Keep the rows of completed cells in cell-index order — on interrupt
+	// that's the partial grid worth flushing; on a clean run it's
+	// everything.
+	completed := experiments.FilterCompleted(pts, done)
 	if werr := experiments.WriteSweepCSV(os.Stdout, completed); werr != nil {
 		return werr
 	}
@@ -118,4 +177,230 @@ func run(ctx context.Context) error {
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d cells\n", len(completed))
 	return nil
+}
+
+// runJournaled runs the grid locally through the distwork journal:
+// killed runs restart with -resume from the first unfinished cell.
+func runJournaled(ctx context.Context, path string, cfg experiments.SweepConfig, resume bool, lease time.Duration, prog *telemetry.CellProgress) ([]experiments.SweepPoint, []bool, error) {
+	grid, err := experiments.OpenGrid(path, cfg, experiments.GridOptions{
+		Workers:    cfg.Workers,
+		Lease:      lease,
+		Resume:     resume,
+		OnCellDone: progHook(prog),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer grid.Close()
+	return grid.Run(ctx)
+}
+
+// runCoordinator serves the grid's cells to HTTP workers and blocks
+// until every cell is terminal. The coordinator runs no cells itself —
+// it journals claims and results, expires lapsed leases so dead
+// workers' cells get stolen, and exposes sweep_* metrics.
+func runCoordinator(ctx context.Context, addr, path string, cfg experiments.SweepConfig, resume bool, lease time.Duration, prog *telemetry.CellProgress) ([]experiments.SweepPoint, []bool, error) {
+	reg := obs.NewRegistry()
+	grid, err := experiments.OpenGrid(path, cfg, experiments.GridOptions{
+		Lease:      lease,
+		Resume:     resume,
+		Metrics:    reg,
+		OnCellDone: progHook(prog),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer grid.Close()
+	store := grid.Store()
+
+	mux := http.NewServeMux()
+	api := &httpapi.LeaseAPI[experiments.GridCell]{Store: store}
+	api.Register(mux)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "sweep: coordinator listening on %s (%d cells)\n", ln.Addr(), len(grid.Cells()))
+
+	// Expired leases requeue on a timer so a dead worker's cells return
+	// to pending even when no claim traffic is arriving.
+	expire := time.NewTicker(lease / 2)
+	defer expire.Stop()
+	settled := make(chan error, 1)
+	go func() { settled <- store.WaitSettled(ctx) }()
+	var waitErr error
+loop:
+	for {
+		select {
+		case <-expire.C:
+			store.ExpireLeases()
+		case waitErr = <-settled:
+			break loop
+		case err := <-serveErr:
+			return nil, nil, fmt.Errorf("coordinator: %w", err)
+		}
+	}
+
+	// Let surviving workers observe settled=true on their next claim poll
+	// before the listener goes away — otherwise their final claim races
+	// the shutdown and they report a lost coordinator.
+	if waitErr == nil {
+		sleepCtx(ctx, time.Second)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutCtx)
+
+	pts, done, err := grid.Collect()
+	fmt.Fprintf(os.Stderr, "sweep: coordinator settled: cells=%d claims=%d steals=%d lease_expirations=%d\n",
+		len(grid.Cells()),
+		reg.Counter("sweep_cell_claims_total").Value(),
+		reg.Counter("sweep_cell_steals_total").Value(),
+		reg.Counter("sweep_lease_expirations_total").Value())
+	if err != nil {
+		return pts, done, err
+	}
+	if waitErr != nil && ctx.Err() != nil {
+		return pts, done, ctx.Err()
+	}
+	return pts, done, waitErr
+}
+
+// runWorker claims cells from a coordinator, executes them locally, and
+// returns results, heartbeating at a third of the coordinator's lease.
+// It exits when the coordinator reports the grid settled, keeps polling
+// through empty claims, and tolerates an unreachable coordinator only
+// before first contact (it retries ~10s, then gives up).
+func runWorker(ctx context.Context, base, name string) error {
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	client := &httpapi.LeaseClient[experiments.GridCell]{Base: strings.TrimRight(base, "/")}
+	contacted := false
+	contactTries := 20 // 20 × 500ms ≈ 10s of pre-contact patience
+	var cells int
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		task, settled, lease, err := client.Claim(ctx, name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if contacted {
+				return fmt.Errorf("worker %s: lost coordinator after %d cells: %w", name, cells, err)
+			}
+			var st *httpapi.LeaseStatusError
+			if errors.As(err, &st) {
+				return fmt.Errorf("worker %s: %w", name, err)
+			}
+			// Not up yet: retry for a while before giving up.
+			contactTries--
+			if contactTries <= 0 || !sleepCtx(ctx, 500*time.Millisecond) {
+				return fmt.Errorf("worker %s: cannot reach coordinator %s: %w", name, base, err)
+			}
+			continue
+		}
+		contacted = true
+		if task == nil {
+			if settled {
+				fmt.Fprintf(os.Stderr, "sweep: worker %s done: %d cells\n", name, cells)
+				return nil
+			}
+			if !sleepCtx(ctx, 250*time.Millisecond) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if err := runClaimedCell(ctx, client, name, *task, lease); err != nil {
+			return err
+		}
+		cells++
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// runClaimedCell executes one leased cell: heartbeat in the background,
+// simulate, settle. On shutdown mid-cell the claim is released so
+// another worker picks it up immediately instead of waiting out the
+// lease.
+func runClaimedCell(ctx context.Context, client *httpapi.LeaseClient[experiments.GridCell], name string, task distwork.Task[experiments.GridCell], lease time.Duration) error {
+	hbCtx, stopHB := context.WithCancel(context.Background())
+	defer stopHB()
+	go func() {
+		tick := time.NewTicker(lease / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				if err := client.Heartbeat(hbCtx, task.ID, name); err != nil {
+					return // lease lost: the coordinator gave the cell away
+				}
+			}
+		}
+	}()
+	pt, err := experiments.RunCell(ctx, task.Payload)
+	stopHB()
+	if err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			relCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = client.Release(relCtx, task.ID, name, fmt.Sprintf("worker %s interrupted; requeued", name))
+			return ctx.Err()
+		}
+		// Cell-level failure: settle it as failed and keep claiming —
+		// other cells may still succeed, and the coordinator surfaces the
+		// error after the grid settles.
+		finCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if ferr := client.Finish(finCtx, task.ID, name, "", err.Error()); ferr != nil {
+			var st *httpapi.LeaseStatusError
+			if !errors.As(ferr, &st) || st.Status != http.StatusConflict {
+				return ferr
+			}
+		}
+		return nil
+	}
+	enc, err := experiments.EncodeCellResult(pt)
+	if err != nil {
+		return err
+	}
+	// Settle with a fresh context: if shutdown raced the finish, the
+	// result is already computed and worth delivering.
+	finCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := client.Finish(finCtx, task.ID, name, enc, ""); err != nil {
+		var st *httpapi.LeaseStatusError
+		if errors.As(err, &st) && st.Status == http.StatusConflict {
+			return nil // lease expired mid-run and the cell was stolen; the newer claim wins
+		}
+		return err
+	}
+	return nil
+}
+
+func progHook(prog *telemetry.CellProgress) func() {
+	if prog == nil {
+		return nil
+	}
+	return prog.CellDone
 }

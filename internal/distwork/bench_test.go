@@ -1,0 +1,58 @@
+package distwork
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkClaimFinish measures the core claim throughput the
+// coordinator serves under: one submit+claim+finish cycle per op against
+// a memory store that retains every terminal task (as a long-lived
+// coordinator does). The pending min-heap and active-set bookkeeping
+// keep the cycle O(log n) in pending tasks and independent of the
+// accumulated terminal population; pinned by cmd/benchguard against
+// BENCH_3.json.
+func BenchmarkClaimFinish(b *testing.B) {
+	s := New(Options[int]{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := s.Submit(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, ok := s.TryClaim("bench-worker")
+		if !ok {
+			b.Fatal("claim failed")
+		}
+		if err := s.Finish(c.ID, "bench-worker", "", nil); err != nil {
+			b.Fatal(err)
+		}
+		_ = t
+	}
+}
+
+// BenchmarkClaimContended measures claim throughput with 8 workers
+// hammering TryClaim against a deep pending backlog.
+func BenchmarkClaimContended(b *testing.B) {
+	s := New(Options[int]{})
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Submit(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var w int
+	b.RunParallel(func(pb *testing.PB) {
+		w++
+		name := fmt.Sprintf("w%d", w)
+		for pb.Next() {
+			c, ok := s.TryClaim(name)
+			if !ok {
+				continue
+			}
+			_ = s.Finish(c.ID, name, "", nil)
+		}
+	})
+}

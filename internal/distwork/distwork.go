@@ -1,0 +1,711 @@
+// Package distwork is the repository's work-distribution core: a
+// payload-generic task store with lease+heartbeat claiming, a journaled
+// (JSONL) lifecycle with compaction and torn-tail tolerance, and a
+// fixed-size worker pool. It is the one machinery under both execution
+// engines in the repo — the elastisimd job queue (internal/jobqueue is a
+// thin json.RawMessage specialization with a legacy journal codec) and
+// the distributed, resumable sweep grids of internal/experiments.
+//
+// The lifecycle is a small state machine:
+//
+//	pending ──claim──▶ claimed ──start──▶ running ◀─pause/resume─▶ paused
+//	   ▲                  │                  │                        │
+//	   └──lease expiry / release────────────┴───────┐                │
+//	                                                 ▼                ▼
+//	                                      done / failed / cancelled (terminal)
+//
+// Claims carry a lease: a worker that stops heartbeating (crashed, hung,
+// killed) loses the task, which returns to pending for another worker —
+// that re-claim is a *steal*, the mechanism behind both daemon crash
+// recovery and straggler work-stealing in distributed sweeps. Every
+// transition is journaled; Open replays the journal, requeues tasks that
+// were mid-flight when the previous process died, keeps terminal tasks
+// (and their result pointers) without re-running them, and compacts the
+// file to one line per task.
+package distwork
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// State is a task's lifecycle state.
+type State string
+
+// The task states. Pending tasks are claimable; claimed/running/paused
+// tasks belong to a worker under a lease; done/failed/cancelled are
+// terminal.
+const (
+	StatePending   State = "pending"
+	StateClaimed   State = "claimed"
+	StateRunning   State = "running"
+	StatePaused    State = "paused"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// States lists every lifecycle state, in lifecycle order. Exported for
+// consumers that enumerate per-state series (the /metrics exposition).
+var States = []State{
+	StatePending, StateClaimed, StateRunning, StatePaused,
+	StateDone, StateFailed, StateCancelled,
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Active reports whether a worker currently owns the task.
+func (s State) Active() bool {
+	return s == StateClaimed || s == StateRunning || s == StatePaused
+}
+
+// Valid reports whether s is one of the defined states.
+func (s State) Valid() bool {
+	switch s {
+	case StatePending, StateClaimed, StateRunning, StatePaused,
+		StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Sentinel errors for ownership failures, so transports (the HTTP lease
+// API) can map them to status codes without string matching.
+var (
+	// ErrNotFound reports an unknown task id.
+	ErrNotFound = errors.New("distwork: no such task")
+	// ErrNotOwner reports a transition attempted by a worker that does not
+	// hold the task's claim (stale lease, already settled, never claimed).
+	ErrNotOwner = errors.New("distwork: task not owned by worker")
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("distwork: store is closed")
+)
+
+// NotFoundError is the concrete ErrNotFound: it carries the id so
+// specializations can rephrase the message in their own vocabulary.
+type NotFoundError struct{ ID string }
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("distwork: no task %s", e.ID) }
+
+// Unwrap makes errors.Is(err, ErrNotFound) true.
+func (e *NotFoundError) Unwrap() error { return ErrNotFound }
+
+// NotOwnerError is the concrete ErrNotOwner: the task's actual state and
+// holder, plus the worker whose claim was rejected.
+type NotOwnerError struct {
+	ID       string
+	State    State
+	Worker   string // current holder ("" if unowned)
+	Claimant string // the rejected worker
+}
+
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("distwork: task %s is %s (worker %q), not owned by %q",
+		e.ID, e.State, e.Worker, e.Claimant)
+}
+
+// Unwrap makes errors.Is(err, ErrNotOwner) true.
+func (e *NotOwnerError) Unwrap() error { return ErrNotOwner }
+
+// Task is one unit of work: a typed payload plus lifecycle bookkeeping.
+// Methods on Store return copies; mutate only through the Store.
+type Task[P any] struct {
+	// ID is assigned by Submit (Options.IDPrefix + dense sequence number,
+	// e.g. "t000001").
+	ID string `json:"id"`
+	// State is the current lifecycle state.
+	State State `json:"state"`
+	// Payload is the work description (for elastisimd, a combined
+	// simulation document; for sweep grids, a cell spec).
+	Payload P `json:"payload,omitempty"`
+	// Submitted/Started/Finished are wall-clock transition times; Started
+	// and Finished are zero until the transition happened.
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+	// Worker names the claim holder while the task is active.
+	Worker string `json:"worker,omitempty"`
+	// Lease is when the current claim expires unless renewed by
+	// Heartbeat. Expired claims are requeued.
+	Lease time.Time `json:"lease,omitempty"`
+	// Attempts counts claims, including requeues after lost leases.
+	Attempts int `json:"attempts,omitempty"`
+	// Error holds the failure message for failed tasks.
+	Error string `json:"error,omitempty"`
+	// Result is an opaque pointer to the task's outcome (an artifact
+	// directory, an encoded result document), set by Finish.
+	Result string `json:"result,omitempty"`
+	// Note carries auxiliary lifecycle information, e.g. partial-progress
+	// details journaled when a shutdown interrupted the task.
+	Note string `json:"note,omitempty"`
+}
+
+// Options tunes a Store.
+type Options[P any] struct {
+	// Lease is how long a claim stays valid without a heartbeat
+	// (default 30s).
+	Lease time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+	// Metrics, when set, receives the store's operational series: tasks by
+	// state (callback gauges over the live store), submission/claim/steal/
+	// lease counters, and journal fsync latency, compactions, and write
+	// errors. Flight, when set, records every journaled state transition
+	// into the crash flight recorder. Both nil (the default) detach
+	// observability at zero cost.
+	Metrics *obs.Registry
+	Flight  *obs.FlightRecorder
+	// MetricPrefix and Noun shape the series names: "<prefix>_<noun>s",
+	// "<prefix>_<noun>_claims_total", ... The jobqueue specialization uses
+	// ("elastisimd", "job") to keep its historical names; defaults are
+	// ("distwork", "task").
+	MetricPrefix string
+	Noun         string
+	// FlightTopic is the flight-recorder category for journaled
+	// transitions (default: MetricPrefix).
+	FlightTopic string
+	// IDPrefix prefixes generated task ids (default "t").
+	IDPrefix string
+	// Codec encodes journal records (default: JSON of Task[P]). The
+	// jobqueue specialization plugs in its legacy record shape here so
+	// pre-existing daemon journals replay byte-compatibly.
+	Codec Codec[P]
+}
+
+func (o Options[P]) withDefaults() Options[P] {
+	if o.Lease <= 0 {
+		o.Lease = 30 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.MetricPrefix == "" {
+		o.MetricPrefix = "distwork"
+	}
+	if o.Noun == "" {
+		o.Noun = "task"
+	}
+	if o.FlightTopic == "" {
+		o.FlightTopic = o.MetricPrefix
+	}
+	if o.IDPrefix == "" {
+		o.IDPrefix = "t"
+	}
+	if o.Codec == nil {
+		o.Codec = JSONCodec[P]{}
+	}
+	return o
+}
+
+// pendEntry is one claimable task in the pending heap, keyed by its
+// arrival order so claims always pick the oldest pending task — exactly
+// the semantics of a linear submission-order scan, at O(log n) per claim.
+// Entries are lazily invalidated: a task that left pending (claimed,
+// cancelled) is skipped when popped, and a requeued task is re-pushed
+// with its original key so it does not lose its place in line.
+type pendEntry struct {
+	key uint64
+	id  string
+}
+
+type pendHeap []pendEntry
+
+func (h pendHeap) Len() int           { return len(h) }
+func (h pendHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h pendHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pendHeap) Push(x any)        { *h = append(*h, x.(pendEntry)) }
+func (h *pendHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h pendHeap) peek() pendEntry    { return h[0] }
+
+// Store is an in-memory task store with optional journal persistence. All
+// methods are safe for concurrent use; hundreds of submitters and a
+// worker pool can share one Store.
+type Store[P any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tasks   map[string]*Task[P]
+	order   []string            // submission order
+	okey    map[string]uint64   // id → arrival-order key (claim priority)
+	active  map[string]struct{} // tasks currently under a lease
+	pending pendHeap            // claimable tasks, oldest first
+	nextKey uint64
+	seq     uint64
+	journal *journal
+	opts    Options[P]
+	closed  bool
+	m       storeMetrics
+}
+
+// New creates a memory-only store (no journal).
+func New[P any](opts Options[P]) *Store[P] {
+	s := &Store[P]{
+		tasks:  make(map[string]*Task[P]),
+		okey:   make(map[string]uint64),
+		active: make(map[string]struct{}),
+		opts:   opts.withDefaults(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.m = newStoreMetrics(s, s.opts)
+	return s
+}
+
+// Open creates a store journaled at path, replaying any existing journal
+// first: terminal tasks are kept (with their result pointers) and are
+// never re-run; tasks that were claimed, running, or paused when the
+// previous process died return to pending. The journal is compacted on
+// open (counted by the <prefix>_journal_compactions_total metric).
+func Open[P any](path string, opts Options[P]) (*Store[P], error) {
+	s := New(opts)
+	tasks, maxSeq, err := replayJournal(path, s.opts.Codec, s.opts.IDPrefix)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tasks {
+		s.tasks[t.ID] = t
+		s.order = append(s.order, t.ID)
+	}
+	sort.Slice(s.order, func(i, k int) bool {
+		return s.tasks[s.order[i]].Submitted.Before(s.tasks[s.order[k]].Submitted) ||
+			(s.tasks[s.order[i]].Submitted.Equal(s.tasks[s.order[k]].Submitted) &&
+				s.order[i] < s.order[k])
+	})
+	for _, id := range s.order {
+		s.okey[id] = s.nextKey
+		s.nextKey++
+		if s.tasks[id].State == StatePending {
+			heap.Push(&s.pending, pendEntry{s.okey[id], id})
+		}
+	}
+	s.seq = maxSeq
+	records := make([][]byte, 0, len(s.order))
+	for _, id := range s.order {
+		rec, err := s.opts.Codec.Encode(s.tasks[id])
+		if err != nil {
+			return nil, fmt.Errorf("distwork: encoding journal record for %s: %w", id, err)
+		}
+		records = append(records, rec)
+	}
+	jr, err := newJournal(path, records)
+	if err != nil {
+		return nil, err
+	}
+	jr.fsync = s.m.fsync
+	jr.errs = s.m.journalErrors
+	s.journal = jr
+	s.m.compactions.Inc()
+	return s, nil
+}
+
+// Lease reports the configured lease duration — the heartbeat contract a
+// worker has to honor to keep its claims.
+func (s *Store[P]) Lease() time.Duration { return s.opts.Lease }
+
+// record journals the task's current state and mirrors the transition
+// into the flight recorder. Callers hold s.mu.
+func (s *Store[P]) record(t *Task[P]) {
+	if s.journal != nil {
+		rec, err := s.opts.Codec.Encode(t)
+		if err != nil {
+			s.journal.fail(err)
+		} else {
+			s.journal.append(rec)
+		}
+	}
+	if s.m.flight != nil {
+		if t.Worker != "" {
+			s.m.flight.Recordf(s.opts.FlightTopic, "%s -> %s (%s, attempt %d)", t.ID, t.State, t.Worker, t.Attempts)
+		} else {
+			s.m.flight.Recordf(s.opts.FlightTopic, "%s -> %s", t.ID, t.State)
+		}
+	}
+}
+
+// Submit enqueues a new task with the given payload and returns it.
+func (s *Store[P]) Submit(payload P) (Task[P], error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Task[P]{}, ErrClosed
+	}
+	s.seq++
+	t := &Task[P]{
+		ID:        fmt.Sprintf("%s%06d", s.opts.IDPrefix, s.seq),
+		State:     StatePending,
+		Payload:   payload,
+		Submitted: s.opts.Now(),
+	}
+	s.tasks[t.ID] = t
+	s.order = append(s.order, t.ID)
+	s.okey[t.ID] = s.nextKey
+	s.nextKey++
+	heap.Push(&s.pending, pendEntry{s.okey[t.ID], t.ID})
+	s.m.submitted.Inc()
+	s.record(t)
+	s.cond.Broadcast()
+	return *t, nil
+}
+
+// Get returns a copy of the task, if it exists.
+func (s *Store[P]) Get(id string) (Task[P], bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return Task[P]{}, false
+	}
+	return *t, true
+}
+
+// List returns copies of all tasks in submission order.
+func (s *Store[P]) List() []Task[P] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Task[P], 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.tasks[id])
+	}
+	return out
+}
+
+// requeueLocked returns a task to pending (lease expiry, restart,
+// release) and re-arms its claimability. Callers hold s.mu.
+func (s *Store[P]) requeueLocked(t *Task[P], note string) {
+	t.State = StatePending
+	t.Worker = ""
+	t.Lease = time.Time{}
+	t.Note = note
+	delete(s.active, t.ID)
+	heap.Push(&s.pending, pendEntry{s.okey[t.ID], t.ID})
+	s.record(t)
+}
+
+// expireLocked requeues active tasks whose lease lapsed, in submission
+// order so the journal stays deterministic. Only the active set is
+// scanned — O(leased), not O(all tasks) — which keeps claim latency flat
+// as terminal tasks accumulate over a long daemon lifetime. Callers hold
+// s.mu.
+func (s *Store[P]) expireLocked(now time.Time) int {
+	var lapsed []string
+	for id := range s.active {
+		t := s.tasks[id]
+		if t.State.Active() && now.After(t.Lease) {
+			lapsed = append(lapsed, id)
+		}
+	}
+	sort.Slice(lapsed, func(i, k int) bool { return s.okey[lapsed[i]] < s.okey[lapsed[k]] })
+	n := 0
+	for _, id := range lapsed {
+		s.requeueLocked(s.tasks[id], "lease expired; requeued")
+		n++
+	}
+	if n > 0 {
+		s.m.expirations.Add(uint64(n))
+		s.cond.Broadcast()
+	}
+	return n
+}
+
+// ExpireLeases requeues every active task whose lease has lapsed (the
+// worker stopped heartbeating) and reports how many were requeued. A
+// coordinator calls this on a timer; the expired tasks are then claimed —
+// stolen — by whichever worker asks next.
+func (s *Store[P]) ExpireLeases() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expireLocked(s.opts.Now())
+}
+
+// TryClaim claims the oldest pending task for worker, or reports none
+// available. Expired leases are collected first, so a crashed worker's
+// tasks become claimable here.
+func (s *Store[P]) TryClaim(worker string) (Task[P], bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tryClaimLocked(worker)
+}
+
+func (s *Store[P]) tryClaimLocked(worker string) (Task[P], bool) {
+	now := s.opts.Now()
+	s.expireLocked(now)
+	for s.pending.Len() > 0 {
+		e := s.pending.peek()
+		t := s.tasks[e.id]
+		heap.Pop(&s.pending)
+		if t == nil || t.State != StatePending {
+			continue // lazily dropped: claimed or cancelled since it was pushed
+		}
+		if t.Attempts > 0 {
+			// A re-claim of a task some worker held before: a steal (lease
+			// expiry, crash recovery, or an explicit release).
+			s.m.steals.Inc()
+		}
+		t.State = StateClaimed
+		t.Worker = worker
+		t.Lease = now.Add(s.opts.Lease)
+		t.Attempts++
+		t.Note = ""
+		s.active[t.ID] = struct{}{}
+		s.m.claims.Inc()
+		s.record(t)
+		return *t, true
+	}
+	return Task[P]{}, false
+}
+
+// Claim blocks until a pending task is available (or ctx is done / the
+// store closes) and claims it for worker.
+func (s *Store[P]) Claim(ctx context.Context, worker string) (Task[P], error) {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return Task[P]{}, err
+		}
+		if s.closed {
+			return Task[P]{}, ErrClosed
+		}
+		if t, ok := s.tryClaimLocked(worker); ok {
+			return t, nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// owned fetches the task and verifies worker holds it. Callers hold s.mu.
+func (s *Store[P]) owned(id, worker string) (*Task[P], error) {
+	t, ok := s.tasks[id]
+	if !ok {
+		return nil, &NotFoundError{ID: id}
+	}
+	if !t.State.Active() || t.Worker != worker {
+		return nil, &NotOwnerError{ID: id, State: t.State, Worker: t.Worker, Claimant: worker}
+	}
+	return t, nil
+}
+
+// Heartbeat renews worker's lease on the task.
+func (s *Store[P]) Heartbeat(id, worker string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.owned(id, worker)
+	if err != nil {
+		return err
+	}
+	t.Lease = s.opts.Now().Add(s.opts.Lease)
+	s.m.heartbeats.Inc()
+	return nil
+}
+
+// setState moves an owned task to the given active state.
+func (s *Store[P]) setState(id, worker string, st State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.owned(id, worker)
+	if err != nil {
+		return err
+	}
+	if t.State == st {
+		return nil
+	}
+	t.State = st
+	t.Lease = s.opts.Now().Add(s.opts.Lease)
+	if st == StateRunning && t.Started.IsZero() {
+		t.Started = s.opts.Now()
+	}
+	s.record(t)
+	return nil
+}
+
+// MarkRunning transitions a claimed (or paused) task to running.
+func (s *Store[P]) MarkRunning(id, worker string) error {
+	return s.setState(id, worker, StateRunning)
+}
+
+// MarkPaused transitions a running task to paused. The worker keeps the
+// claim and must keep heartbeating.
+func (s *Store[P]) MarkPaused(id, worker string) error {
+	return s.setState(id, worker, StatePaused)
+}
+
+// Finish moves an owned task to a terminal state: done when runErr is
+// nil, failed otherwise. result is an opaque outcome pointer stored on
+// the task and survives journal recovery.
+func (s *Store[P]) Finish(id, worker, result string, runErr error) error {
+	state := StateDone
+	errMsg := ""
+	if runErr != nil {
+		state = StateFailed
+		errMsg = runErr.Error()
+	}
+	return s.finish(id, worker, state, result, errMsg)
+}
+
+// FinishCancelled moves an owned task to cancelled (a cancel request was
+// honored mid-run); result may point at partial output.
+func (s *Store[P]) FinishCancelled(id, worker, result string) error {
+	return s.finish(id, worker, StateCancelled, result, "")
+}
+
+func (s *Store[P]) finish(id, worker string, st State, result, errMsg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.owned(id, worker)
+	if err != nil {
+		return err
+	}
+	t.State = st
+	t.Worker = ""
+	t.Lease = time.Time{}
+	t.Finished = s.opts.Now()
+	t.Result = result
+	t.Error = errMsg
+	delete(s.active, id)
+	s.m.finished[st].Inc()
+	s.record(t)
+	s.cond.Broadcast()
+	return nil
+}
+
+// Release returns an owned task to pending without finishing it — the
+// graceful-shutdown path. note (e.g. partial-progress details) is
+// journaled with the transition, so a restarted process sees how far the
+// interrupted run got before it re-runs the task.
+func (s *Store[P]) Release(id, worker, note string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.owned(id, worker)
+	if err != nil {
+		return err
+	}
+	s.requeueLocked(t, note)
+	s.m.releases.Inc()
+	s.cond.Broadcast()
+	return nil
+}
+
+// Cancel requests cancellation. A pending task is cancelled immediately;
+// for an active task the state is returned unchanged and the caller must
+// signal the owning worker (which then calls FinishCancelled). Cancelling
+// a terminal task is a no-op. The returned state is the task's state
+// after the call.
+func (s *Store[P]) Cancel(id string) (State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return "", &NotFoundError{ID: id}
+	}
+	if t.State == StatePending {
+		t.State = StateCancelled
+		t.Finished = s.opts.Now()
+		s.m.finished[StateCancelled].Inc()
+		s.record(t)
+		s.cond.Broadcast()
+	}
+	return t.State, nil
+}
+
+// Counts tallies tasks by state.
+func (s *Store[P]) Counts() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[State]int)
+	for _, t := range s.tasks {
+		out[t.State]++
+	}
+	return out
+}
+
+// countState tallies tasks currently in state st (sampled at scrape time
+// by the per-state callback gauges — the gauge reads the store the queue
+// already maintains instead of keeping a parallel count).
+func (s *Store[P]) countState(st State) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.tasks {
+		if t.State == st {
+			n++
+		}
+	}
+	return n
+}
+
+// settledLocked reports whether every task is terminal. Callers hold
+// s.mu. An empty store is settled.
+func (s *Store[P]) settledLocked() bool {
+	for _, t := range s.tasks {
+		if !t.State.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// Settled reports whether every task has reached a terminal state — the
+// completion condition of a fixed work set such as a sweep grid.
+func (s *Store[P]) Settled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.settledLocked()
+}
+
+// WaitSettled blocks until every task is terminal, ctx is done, or the
+// store closes. It is how a grid coordinator knows the sweep is complete:
+// workers finish (or fail) cells, lease expiry requeues stragglers, and
+// settlement means nothing pending or leased remains.
+func (s *Store[P]) WaitSettled(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if s.closed {
+			return ErrClosed
+		}
+		if s.settledLocked() {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// Close flushes and closes the journal and wakes all blocked Claim and
+// WaitSettled calls with an error. Tasks are not mutated: active tasks
+// stay active in the journal and will be requeued by the next Open.
+func (s *Store[P]) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	if s.journal != nil {
+		return s.journal.close()
+	}
+	return nil
+}

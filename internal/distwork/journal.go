@@ -1,0 +1,257 @@
+package distwork
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The journal is a JSONL file of task snapshots: every state transition
+// appends the task's full record, so the last line per task id is its
+// authoritative state. Recovery is a replay keeping the last record of
+// each id; compaction rewrites the file with exactly one line per task.
+//
+// Full-record snapshots (rather than deltas) keep recovery trivial and
+// make the journal greppable operational evidence: `grep t000017
+// journal.jsonl` is the task's complete history.
+
+// A Codec encodes and decodes one journal record. The default JSONCodec
+// marshals Task[P] directly; a consumer with a pre-existing journal
+// format (internal/jobqueue) supplies its own so old files keep
+// replaying and new lines keep the old shape.
+type Codec[P any] interface {
+	Encode(t *Task[P]) ([]byte, error)
+	Decode(data []byte) (Task[P], error)
+}
+
+// JSONCodec is the default Codec: the Task's JSON form, one object per
+// line.
+type JSONCodec[P any] struct{}
+
+// Encode marshals the task as JSON.
+func (JSONCodec[P]) Encode(t *Task[P]) ([]byte, error) { return json.Marshal(t) }
+
+// Decode unmarshals one JSON record.
+func (JSONCodec[P]) Decode(data []byte) (Task[P], error) {
+	var t Task[P]
+	err := json.Unmarshal(data, &t)
+	return t, err
+}
+
+type journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	err   error          // first write error; subsequent appends are dropped
+	fsync *obs.Histogram // per-append write+flush+fsync latency (nil = detached)
+	errs  *obs.Counter   // journaled-write failures (latched once; nil = detached)
+}
+
+// replayJournal reads the journal at path (missing file = empty store)
+// and reconstructs the task set: the last record per id wins, tasks that
+// were active when the writing process died are requeued as pending, and
+// the highest id sequence number is returned so new ids never collide.
+func replayJournal[P any](path string, codec Codec[P], idPrefix string) (map[string]*Task[P], uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	tasks := make(map[string]*Task[P])
+	var maxSeq uint64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // payloads can be large
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		t, err := codec.Decode([]byte(text))
+		if err != nil {
+			// A torn final line (crash mid-append) is expected; anything
+			// else is corruption worth surfacing.
+			if line == countLines(path) {
+				break
+			}
+			return nil, 0, fmt.Errorf("distwork: journal %s line %d: %w", path, line, err)
+		}
+		if t.ID == "" || !t.State.Valid() {
+			return nil, 0, fmt.Errorf("distwork: journal %s line %d: invalid record", path, line)
+		}
+		cp := t
+		tasks[t.ID] = &cp
+		if seq, ok := parseSeq(t.ID, idPrefix); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("distwork: reading journal %s: %w", path, err)
+	}
+	// Requeue tasks the dead process still owned.
+	for _, t := range tasks {
+		if t.State.Active() {
+			t.State = StatePending
+			t.Worker = ""
+			t.Lease = time.Time{}
+			t.Note = "recovered after restart; requeued"
+		}
+	}
+	return tasks, maxSeq, nil
+}
+
+// countLines counts newline-terminated plus trailing partial lines; used
+// only to distinguish a torn final record from mid-file corruption.
+func countLines(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return -1
+	}
+	n := strings.Count(string(data), "\n")
+	if len(data) > 0 && !strings.HasSuffix(string(data), "\n") {
+		n++
+	}
+	return n
+}
+
+func parseSeq(id, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(id, prefix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[len(prefix):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// newJournal creates (or compacts) the journal at path, writing one
+// snapshot line per existing task, and returns it ready for appends. The
+// compacted file is written to a temp file and renamed into place, so a
+// crash during compaction never loses the previous journal.
+func newJournal(path string, records [][]byte) (*journal, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range records {
+		if err := writeRecord(w, rec); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: af, w: bufio.NewWriter(af)}, nil
+}
+
+func writeRecord(w *bufio.Writer, rec []byte) error {
+	if _, err := w.Write(rec); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// fail latches err as the journal's write error (encoding failures reach
+// here): subsequent appends are dropped and the error surfaces on close.
+func (jr *journal) fail(err error) {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	jr.latch(err)
+}
+
+// latch records the first write error and counts it. Callers hold jr.mu.
+func (jr *journal) latch(err error) {
+	if err == nil || jr.err != nil {
+		return
+	}
+	jr.err = err
+	jr.errs.Inc()
+}
+
+// append journals one encoded record. Appends are flushed and synced per
+// transition: transitions are rare (per task lifecycle, not per event)
+// and durability is the point of the journal.
+func (jr *journal) append(rec []byte) {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	if jr.err != nil {
+		return
+	}
+	var start time.Time
+	if jr.fsync != nil {
+		start = time.Now()
+	}
+	if err := writeRecord(jr.w, rec); err != nil {
+		jr.latch(err)
+		return
+	}
+	if err := jr.w.Flush(); err != nil {
+		jr.latch(err)
+		return
+	}
+	jr.latch(jr.f.Sync())
+	if jr.fsync != nil {
+		jr.fsync.Observe(time.Since(start).Seconds())
+	}
+}
+
+func (jr *journal) close() error {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	err := jr.err
+	if ferr := jr.w.Flush(); ferr != nil {
+		jr.latch(ferr)
+		if err == nil {
+			err = ferr
+		}
+	}
+	if serr := jr.f.Sync(); serr != nil {
+		jr.latch(serr)
+		if err == nil {
+			err = serr
+		}
+	}
+	if cerr := jr.f.Close(); cerr != nil {
+		jr.latch(cerr)
+		if err == nil {
+			err = cerr
+		}
+	}
+	jr.f = nil
+	return err
+}

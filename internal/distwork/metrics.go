@@ -1,0 +1,70 @@
+package distwork
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// storeMetrics holds the store's precreated instruments. Every field is
+// nil when observability is detached, and every obs method is nil-safe,
+// so the hot paths carry no conditionals.
+//
+// Instruments are created here, up front, and never from inside a store
+// method: per-state gauges are callback-backed and take s.mu at scrape
+// time, so creating a series while holding s.mu would invert the lock
+// order against a concurrent scrape.
+//
+// Series names are parameterized by Options.MetricPrefix and
+// Options.Noun so each specialization keeps its own families: the
+// jobqueue store exports elastisimd_jobs / elastisimd_job_claims_total /
+// ..., the sweep grid sweep_cells / sweep_cell_claims_total / ...
+type storeMetrics struct {
+	flight        *obs.FlightRecorder
+	submitted     *obs.Counter
+	claims        *obs.Counter
+	steals        *obs.Counter // re-claims of tasks a previous worker held
+	expirations   *obs.Counter
+	heartbeats    *obs.Counter
+	releases      *obs.Counter
+	finished      map[State]*obs.Counter // terminal-state transitions
+	fsync         *obs.Histogram
+	compactions   *obs.Counter // journal rewrites (one per successful Open)
+	journalErrors *obs.Counter // latched journal write failures
+}
+
+func newStoreMetrics[P any](s *Store[P], o Options[P]) storeMetrics {
+	m := storeMetrics{flight: o.Flight}
+	reg := o.Metrics
+	if reg == nil {
+		return m
+	}
+	p, n := o.MetricPrefix, o.Noun
+	reg.Help(fmt.Sprintf("%s_%ss", p, n), fmt.Sprintf("%ss currently in each lifecycle state", n))
+	reg.Help(fmt.Sprintf("%s_%ss_finished_total", p, n), fmt.Sprintf("%ss that reached a terminal state", n))
+	reg.Help(fmt.Sprintf("%s_lease_expirations_total", p), "claims lost to a lapsed lease and requeued")
+	reg.Help(fmt.Sprintf("%s_%s_steals_total", p, n), fmt.Sprintf("%ss re-claimed after a previous worker lost or released them", n))
+	reg.Help(fmt.Sprintf("%s_journal_fsync_seconds", p), "latency of one journaled transition (write+flush+fsync)")
+	reg.Help(fmt.Sprintf("%s_journal_compactions_total", p), "journal compactions (rewrite to one record per task on open)")
+	reg.Help(fmt.Sprintf("%s_journal_errors_total", p), "journal write failures; after the first the journal stops appending")
+	for _, st := range States {
+		st := st
+		reg.Gauge(fmt.Sprintf("%s_%ss{state=%q}", p, n, st), func() float64 {
+			return float64(s.countState(st))
+		})
+	}
+	m.submitted = reg.Counter(fmt.Sprintf("%s_%ss_submitted_total", p, n))
+	m.claims = reg.Counter(fmt.Sprintf("%s_%s_claims_total", p, n))
+	m.steals = reg.Counter(fmt.Sprintf("%s_%s_steals_total", p, n))
+	m.expirations = reg.Counter(fmt.Sprintf("%s_lease_expirations_total", p))
+	m.heartbeats = reg.Counter(fmt.Sprintf("%s_heartbeats_total", p))
+	m.releases = reg.Counter(fmt.Sprintf("%s_%s_releases_total", p, n))
+	m.finished = make(map[State]*obs.Counter)
+	for _, st := range []State{StateDone, StateFailed, StateCancelled} {
+		m.finished[st] = reg.Counter(fmt.Sprintf("%s_%ss_finished_total{state=%q}", p, n, st))
+	}
+	m.fsync = reg.Histogram(fmt.Sprintf("%s_journal_fsync_seconds", p), obs.DefLatencyBuckets)
+	m.compactions = reg.Counter(fmt.Sprintf("%s_journal_compactions_total", p))
+	m.journalErrors = reg.Counter(fmt.Sprintf("%s_journal_errors_total", p))
+	return m
+}

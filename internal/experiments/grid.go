@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/distwork"
+	"repro/internal/obs"
+)
+
+// The journaled grid runner puts a sweep's cells through the same
+// work-distribution core as elastisimd's job queue: every cell is a
+// distwork task, every completion is journaled with its canonical
+// encoded result, and a killed sweep reopened with Resume picks up at
+// the first incomplete cell — completed cells replay from the journal
+// and never re-run. The same store serves the distributed mode: a
+// coordinator leases cells to HTTP workers (internal/httpapi.LeaseAPI)
+// instead of a local pool, with lease expiry returning a dead worker's
+// cells to the pool for the survivors to steal.
+
+// GridOptions tunes a journaled grid run.
+type GridOptions struct {
+	// Workers sizes the local pool for Run (0 = one per CPU).
+	Workers int
+	// Lease is the claim lease for cells (default 1m: cells are minutes-
+	// scale at most, and a dead worker's cells should requeue quickly).
+	Lease time.Duration
+	// Resume permits opening a journal that already has entries. Without
+	// it, an existing journal is an error — refusing to silently append a
+	// new sweep onto an old one.
+	Resume bool
+	// Metrics/Flight attach observability (sweep_* series).
+	Metrics *obs.Registry
+	Flight  *obs.FlightRecorder
+	// OnCellDone, when set, is called once per newly finished cell,
+	// possibly from concurrent worker goroutines.
+	OnCellDone func()
+
+	// runCell overrides cell execution (tests: fake slow/failing cells).
+	runCell func(ctx context.Context, c GridCell) (SweepPoint, error)
+}
+
+func (o GridOptions) withDefaults() GridOptions {
+	if o.Lease <= 0 {
+		o.Lease = time.Minute
+	}
+	if o.runCell == nil {
+		o.runCell = RunCell
+	}
+	return o
+}
+
+// Grid is a sweep grid journaled through a distwork store.
+type Grid struct {
+	store *distwork.Store[GridCell]
+	cells []GridCell
+	opts  GridOptions
+}
+
+// gridStoreOptions is the one place the sweep specialization of the
+// distwork core is configured; cells journal under ids c000001… with
+// sweep_* metric families.
+func gridStoreOptions(opts GridOptions) distwork.Options[GridCell] {
+	return distwork.Options[GridCell]{
+		Lease:        opts.Lease,
+		Metrics:      opts.Metrics,
+		Flight:       opts.Flight,
+		MetricPrefix: "sweep",
+		Noun:         "cell",
+		FlightTopic:  "sweepgrid",
+		IDPrefix:     "c",
+	}
+}
+
+// OpenGrid opens (or creates) the grid journal at path for cfg's grid;
+// an empty path makes the grid memory-only (a coordinator that doesn't
+// need restart durability). A fresh journal gets every cell submitted in
+// canonical order. An existing journal requires opts.Resume and must
+// have been written for the same grid — same cells in the same order —
+// otherwise OpenGrid refuses rather than merge incompatible sweeps.
+func OpenGrid(path string, cfg SweepConfig, opts GridOptions) (*Grid, error) {
+	opts = opts.withDefaults()
+	cells := GridCells(cfg)
+	var store *distwork.Store[GridCell]
+	if path == "" {
+		store = distwork.New(gridStoreOptions(opts))
+	} else {
+		if _, err := os.Stat(path); err == nil && !opts.Resume {
+			return nil, fmt.Errorf("journal %s already exists; pass resume to continue it", path)
+		} else if err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+		var err error
+		store, err = distwork.Open(path, gridStoreOptions(opts))
+		if err != nil {
+			return nil, err
+		}
+	}
+	tasks := store.List()
+	if len(tasks) == 0 {
+		for _, c := range cells {
+			if _, err := store.Submit(c); err != nil {
+				store.Close()
+				return nil, err
+			}
+		}
+	} else {
+		if len(tasks) != len(cells) {
+			store.Close()
+			return nil, fmt.Errorf("journal %s holds %d cells, grid has %d: refusing to resume a different sweep", path, len(tasks), len(cells))
+		}
+		for i, t := range tasks {
+			if t.Payload != cells[i] {
+				store.Close()
+				return nil, fmt.Errorf("journal %s cell %d is %+v, grid expects %+v: refusing to resume a different sweep", path, i, t.Payload, cells[i])
+			}
+		}
+	}
+	return &Grid{store: store, cells: cells, opts: opts}, nil
+}
+
+// Store exposes the underlying distwork store — the coordinator mode
+// serves it over HTTP (lease endpoints, ExpireLeases ticker,
+// WaitSettled).
+func (g *Grid) Store() *distwork.Store[GridCell] { return g.store }
+
+// Cells returns the grid's cells in canonical order.
+func (g *Grid) Cells() []GridCell { return g.cells }
+
+// Close closes the underlying store and journal.
+func (g *Grid) Close() error { return g.store.Close() }
+
+// Runner returns the distwork runner that executes one claimed cell
+// in-process: mark running, heartbeat at a third of the lease while the
+// simulation runs, and finish with the canonically encoded result. On
+// ctx cancellation the cell is released back to pending (journaled), so
+// a subsequent resume re-runs only that cell.
+func (g *Grid) Runner() distwork.Runner[GridCell] {
+	return func(ctx context.Context, s *distwork.Store[GridCell], t distwork.Task[GridCell]) (string, error) {
+		if err := s.MarkRunning(t.ID, t.Worker); err != nil {
+			return "", err
+		}
+		hbCtx, stopHB := context.WithCancel(ctx)
+		defer stopHB()
+		go func() {
+			tick := time.NewTicker(s.Lease() / 3)
+			defer tick.Stop()
+			for {
+				select {
+				case <-hbCtx.Done():
+					return
+				case <-tick.C:
+					if err := s.Heartbeat(t.ID, t.Worker); err != nil {
+						return // lease lost: a newer claim owns the cell
+					}
+				}
+			}
+		}()
+		p, err := g.opts.runCell(ctx, t.Payload)
+		if err != nil {
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				return "", fmt.Errorf("interrupted at cell %d (%s, %g, %d): %w",
+					t.Payload.Index, t.Payload.Algorithm, t.Payload.Share, t.Payload.Seed, distwork.ErrInterrupted)
+			}
+			return "", err
+		}
+		enc, err := EncodeCellResult(p)
+		if err != nil {
+			return "", err
+		}
+		if g.opts.OnCellDone != nil {
+			g.opts.OnCellDone()
+		}
+		return enc, nil
+	}
+}
+
+// Run executes the grid's remaining cells on a local pool and blocks
+// until every cell is terminal or ctx is cancelled, then reports the
+// merged grid like SweepContext: points and done bitmap in cell-index
+// order, with ctx.Err() when the run was cut short. Cells already
+// finished in the journal are not re-run — their results come from the
+// replay.
+func (g *Grid) Run(ctx context.Context) ([]SweepPoint, []bool, error) {
+	poolCtx, stopPool := context.WithCancel(ctx)
+	defer stopPool()
+	pool := distwork.NewPool(g.store, resolveWorkers(g.opts.Workers, len(g.cells)), g.Runner())
+	pool.Start(poolCtx)
+	err := g.store.WaitSettled(ctx)
+	stopPool()
+	pool.Wait()
+	pts, done, cerr := g.Collect()
+	if cerr != nil {
+		return pts, done, cerr
+	}
+	if err != nil && ctx.Err() != nil {
+		return pts, done, ctx.Err()
+	}
+	return pts, done, err
+}
+
+// Collect merges the store's terminal cells into grid order: the points
+// slice and done bitmap are indexed by cell, with failed cells reported
+// as the error of the lowest failing index — the same determinism
+// contract as runIndexedCtx, regardless of which worker finished which
+// cell in what order.
+func (g *Grid) Collect() ([]SweepPoint, []bool, error) {
+	pts := make([]SweepPoint, len(g.cells))
+	done := make([]bool, len(g.cells))
+	errs := make([]error, len(g.cells))
+	for _, t := range g.store.List() {
+		i := t.Payload.Index
+		if i < 0 || i >= len(g.cells) {
+			return nil, nil, fmt.Errorf("journal cell index %d out of range", i)
+		}
+		switch t.State {
+		case distwork.StateDone:
+			p, err := DecodeCellResult(t.Result)
+			if err != nil {
+				return nil, nil, fmt.Errorf("cell %d: %w", i, err)
+			}
+			pts[i] = p
+			done[i] = true
+		case distwork.StateFailed:
+			errs[i] = fmt.Errorf("cell %d (%s, %g, %d): %s",
+				i, t.Payload.Algorithm, t.Payload.Share, t.Payload.Seed, t.Error)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return pts, done, err
+		}
+	}
+	return pts, done, nil
+}

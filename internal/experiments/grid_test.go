@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFilterCompletedIndexOrder pins the partial-grid merge contract:
+// completed rows come out in cell-index order, never in completion
+// order, so a partial flush is a prefix-stable subset of the full grid.
+func TestFilterCompletedIndexOrder(t *testing.T) {
+	pts := []string{"c0", "c1", "c2", "c3", "c4"}
+	// Completion arrived out of order (4 finished first, then 1, then 3);
+	// the done bitmap is the only record of what completed.
+	done := []bool{false, true, false, true, true}
+	got := FilterCompleted(pts, done)
+	want := []string{"c1", "c3", "c4"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v (index order, not completion order)", got, want)
+		}
+	}
+	if all := FilterCompleted(pts, []bool{true, true, true, true, true}); len(all) != 5 || all[0] != "c0" {
+		t.Fatalf("full grid: got %v", all)
+	}
+}
+
+// smallGrid is a 4-cell config cheap enough to simulate for real.
+func smallGrid() SweepConfig {
+	return SweepConfig{
+		Algorithms: []string{"fcfs", "easy"},
+		Shares:     []float64{0, 1},
+		Seeds:      []uint64{1},
+		Jobs:       6,
+		Nodes:      16,
+	}
+}
+
+// fakeCells returns a runCell seam producing deterministic synthetic
+// results and counting executions per cell index.
+func fakeCells(t *testing.T, runs map[int]int, mu *sync.Mutex, hook func(ctx context.Context, c GridCell) error) func(ctx context.Context, c GridCell) (SweepPoint, error) {
+	t.Helper()
+	return func(ctx context.Context, c GridCell) (SweepPoint, error) {
+		mu.Lock()
+		runs[c.Index]++
+		mu.Unlock()
+		if hook != nil {
+			if err := hook(ctx, c); err != nil {
+				return SweepPoint{}, err
+			}
+		}
+		return SweepPoint{
+			Algorithm:      c.Algorithm,
+			MalleableShare: c.Share,
+			Seed:           c.Seed,
+			Jobs:           c.Jobs,
+			Events:         uint64(1000 + c.Index),
+		}, nil
+	}
+}
+
+// TestGridRunMatchesSweep pins that a journaled grid run over real
+// simulations produces the same grid as SweepContext, modulo the
+// canonicalized wall clock (journal results carry wall_ms=0).
+func TestGridRunMatchesSweep(t *testing.T) {
+	cfg := smallGrid()
+	direct, done, err := SweepContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range done {
+		if !d {
+			t.Fatalf("direct cell %d incomplete", i)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "grid.jsonl")
+	grid, err := OpenGrid(path, cfg, GridOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grid.Close()
+	pts, gdone, err := grid.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(direct) {
+		t.Fatalf("grid returned %d points, want %d", len(pts), len(direct))
+	}
+	for i := range pts {
+		if !gdone[i] {
+			t.Fatalf("grid cell %d incomplete", i)
+		}
+		want, err := EncodeCellResult(direct[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EncodeCellResult(pts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("cell %d differs:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestGridResumeNoRerun pins resume semantics: a grid interrupted
+// mid-run and reopened with Resume re-runs only the unfinished cells —
+// completed cells replay from the journal — and the merged CSV is
+// byte-identical to an uninterrupted run.
+func TestGridResumeNoRerun(t *testing.T) {
+	cfg := smallGrid()
+	cells := GridCells(cfg)
+
+	// Reference: uninterrupted run with the same fake cells.
+	var mu sync.Mutex
+	refRuns := map[int]int{}
+	refPath := filepath.Join(t.TempDir(), "ref.jsonl")
+	refGrid, err := OpenGrid(refPath, cfg, GridOptions{Workers: 1, runCell: fakeCells(t, refRuns, &mu, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPts, _, err := refGrid.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refGrid.Close()
+	var refCSV bytes.Buffer
+	if err := WriteSweepCSV(&refCSV, refPts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: sequential workers, the third cell aborts the ctx
+	// (standing in for the process being killed mid-cell).
+	path := filepath.Join(t.TempDir(), "grid.jsonl")
+	runs := map[int]int{}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	killAt := 2
+	grid1, err := OpenGrid(path, cfg, GridOptions{
+		Workers: 1,
+		runCell: fakeCells(t, runs, &mu, func(ctx context.Context, c GridCell) error {
+			if c.Index == killAt {
+				cancel1()
+				return fmt.Errorf("cell stopped: %w", ctx.Err())
+			}
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done1, err := grid1.Run(ctx1)
+	if err == nil {
+		t.Fatal("interrupted run should report an error")
+	}
+	grid1.Close()
+	if !done1[0] || !done1[1] || done1[killAt] {
+		t.Fatalf("first run done bitmap: %v", done1)
+	}
+
+	// Resume: only unfinished cells run.
+	grid2, err := OpenGrid(path, cfg, GridOptions{
+		Workers: 1, Resume: true,
+		runCell: fakeCells(t, runs, &mu, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grid2.Close()
+	pts, done2, err := grid2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if !done2[i] {
+			t.Fatalf("cell %d incomplete after resume", i)
+		}
+		wantRuns := 1
+		if i == killAt {
+			wantRuns = 2 // the interrupted cell itself re-runs
+		}
+		if runs[i] != wantRuns {
+			t.Fatalf("cell %d ran %d times, want %d (completed cells must not re-run)", i, runs[i], wantRuns)
+		}
+	}
+	var gotCSV bytes.Buffer
+	if err := WriteSweepCSV(&gotCSV, pts); err != nil {
+		t.Fatal(err)
+	}
+	if gotCSV.String() != refCSV.String() {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\n got:\n%s\nwant:\n%s", gotCSV.String(), refCSV.String())
+	}
+}
+
+// TestGridRefusesMismatch pins the journal-vs-grid safety checks.
+func TestGridRefusesMismatch(t *testing.T) {
+	cfg := smallGrid()
+	var mu sync.Mutex
+	path := filepath.Join(t.TempDir(), "grid.jsonl")
+	g, err := OpenGrid(path, cfg, GridOptions{Workers: 1, runCell: fakeCells(t, map[int]int{}, &mu, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	// Existing journal without Resume is refused.
+	if _, err := OpenGrid(path, cfg, GridOptions{}); err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("want already-exists refusal, got %v", err)
+	}
+	// Resume with a different grid is refused.
+	other := cfg
+	other.Seeds = []uint64{1, 2}
+	if _, err := OpenGrid(path, other, GridOptions{Resume: true}); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("want different-sweep refusal, got %v", err)
+	}
+}
+
+// TestGridFailedCellLowestIndexWins pins the deterministic error
+// contract shared with runIndexedCtx.
+func TestGridFailedCellLowestIndexWins(t *testing.T) {
+	cfg := smallGrid()
+	var mu sync.Mutex
+	grid, err := OpenGrid("", cfg, GridOptions{
+		Workers: 2,
+		runCell: fakeCells(t, map[int]int{}, &mu, func(_ context.Context, c GridCell) error {
+			if c.Index == 1 || c.Index == 3 {
+				return fmt.Errorf("boom %d", c.Index)
+			}
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grid.Close()
+	pts, done, err := grid.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "cell 1") {
+		t.Fatalf("want lowest failing index in error, got %v", err)
+	}
+	if !done[0] || done[1] || !done[2] || done[3] {
+		t.Fatalf("done bitmap: %v", done)
+	}
+	if len(FilterCompleted(pts, done)) != 2 {
+		t.Fatalf("completed count: %d", len(FilterCompleted(pts, done)))
+	}
+}
+
+// TestGridLeaseExpiryReclaims exercises the work-stealing path through
+// the store underneath a grid: a claim that never heartbeats lapses and
+// the cell is claimed again.
+func TestGridLeaseExpiryReclaims(t *testing.T) {
+	cfg := smallGrid()
+	grid, err := OpenGrid("", cfg, GridOptions{Lease: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grid.Close()
+	st := grid.Store()
+	first, ok := st.TryClaim("w-dead")
+	if !ok {
+		t.Fatal("claim failed")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.ExpireLeases() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stolen, ok := st.TryClaim("w-live")
+	if !ok || stolen.ID != first.ID || stolen.Attempts != 2 {
+		t.Fatalf("steal: %+v ok=%v", stolen, ok)
+	}
+}

@@ -95,3 +95,19 @@ func runIndexedCtx[T any](ctx context.Context, workers, n int, fn func(ctx conte
 	}
 	return out, done, cancelled
 }
+
+// FilterCompleted merges a partial grid deterministically: it keeps the
+// entries whose done bit is set, in cell-index order — never in worker
+// completion order. This is the single merge path for every partial
+// flush (interrupted sweeps, resumed journals, distributed grids), so
+// the emitted rows for any given completed set are byte-identical no
+// matter which workers finished which cells first.
+func FilterCompleted[T any](pts []T, done []bool) []T {
+	out := pts[:0:0]
+	for i, d := range done {
+		if d {
+			out = append(out, pts[i])
+		}
+	}
+	return out
+}

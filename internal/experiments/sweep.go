@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -78,6 +79,95 @@ func (c *SweepConfig) withDefaults() SweepConfig {
 	return out
 }
 
+// GridCell is one addressable cell of a sweep grid: the full parameter
+// set needed to run it anywhere — in-process, after a resume, or on a
+// remote worker that never saw the SweepConfig. Index is the cell's
+// position in canonical grid order, which is what keeps merged output
+// deterministic regardless of completion order. GridCell is comparable
+// and JSON-round-trippable, so it doubles as the distwork payload of
+// journaled and distributed sweeps.
+type GridCell struct {
+	Index     int     `json:"index"`
+	Algorithm string  `json:"algorithm"`
+	Share     float64 `json:"share"`
+	Seed      uint64  `json:"seed"`
+	Jobs      int     `json:"jobs"`
+	Nodes     int     `json:"nodes"`
+}
+
+// GridCells enumerates cfg's grid in canonical order: seed-major, then
+// share, then algorithm — the row order of the emitted CSV.
+func GridCells(cfg SweepConfig) []GridCell {
+	cfg = cfg.withDefaults()
+	var cells []GridCell
+	for _, seed := range cfg.Seeds {
+		for _, share := range cfg.Shares {
+			for _, name := range cfg.Algorithms {
+				cells = append(cells, GridCell{
+					Index:     len(cells),
+					Algorithm: name,
+					Share:     share,
+					Seed:      seed,
+					Jobs:      cfg.Jobs,
+					Nodes:     cfg.Nodes,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// RunCell executes one grid cell: generate the cell's workload, simulate
+// it, and summarize. Cells are self-contained — every simulated value is
+// a pure function of the GridCell — which is what makes sweep output
+// bit-identical across worker counts, process restarts, and machines.
+func RunCell(ctx context.Context, c GridCell) (SweepPoint, error) {
+	algo, err := elastisim.NewAlgorithm(c.Algorithm)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	shares := map[job.Type]float64{}
+	if c.Share < 1 {
+		shares[job.Rigid] = 1 - c.Share
+	}
+	if c.Share > 0 {
+		shares[job.Malleable] = c.Share
+	}
+	wl, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
+		Name: "sweep", Seed: c.Seed, Count: c.Jobs,
+		Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: float64(c.Nodes) / 2304.0},
+		Nodes:        [2]int{2, min(64, c.Nodes)},
+		MachineNodes: c.Nodes,
+		NodeSpeed:    stdNodeSpeed,
+		TypeShares:   shares,
+	})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	s, err := elastisim.NewSession(elastisim.Config{
+		Platform:  StandardPlatform(c.Nodes),
+		Workload:  wl,
+		Algorithm: algo,
+	})
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("sweep cell (%s, %.2f, %d): %w", c.Algorithm, c.Share, c.Seed, err)
+	}
+	res, err := s.Run(ctx)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("sweep cell (%s, %.2f, %d): %w", c.Algorithm, c.Share, c.Seed, err)
+	}
+	return SweepPoint{
+		Algorithm:      c.Algorithm,
+		MalleableShare: c.Share,
+		Seed:           c.Seed,
+		Jobs:           c.Jobs,
+		Summary:        res.Summary,
+		Events:         res.Events,
+		WallMillis:     res.WallClock.Milliseconds(),
+		Snapshot:       res.Telemetry,
+	}, nil
+}
+
 // Sweep runs the full grid: every algorithm on every (share, seed)
 // workload. Cells are independent simulations fanned across the worker
 // pool (cfg.Workers); the returned points are in grid order and
@@ -98,69 +188,41 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 // cut short, so callers can flush partial grids on interrupt.
 func SweepContext(ctx context.Context, cfg SweepConfig) ([]SweepPoint, []bool, error) {
 	cfg = cfg.withDefaults()
-	type cell struct {
-		algorithm string
-		share     float64
-		seed      uint64
-	}
-	var cells []cell
-	for _, seed := range cfg.Seeds {
-		for _, share := range cfg.Shares {
-			for _, name := range cfg.Algorithms {
-				cells = append(cells, cell{name, share, seed})
-			}
-		}
-	}
+	cells := GridCells(cfg)
 	return runIndexedCtx(ctx, cfg.Workers, len(cells), func(ctx context.Context, i int) (SweepPoint, error) {
-		c := cells[i]
-		algo, err := elastisim.NewAlgorithm(c.algorithm)
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		shares := map[job.Type]float64{}
-		if c.share < 1 {
-			shares[job.Rigid] = 1 - c.share
-		}
-		if c.share > 0 {
-			shares[job.Malleable] = c.share
-		}
-		wl, err := elastisim.GenerateWorkload(elastisim.WorkloadConfig{
-			Name: "sweep", Seed: c.seed, Count: cfg.Jobs,
-			Arrival:      job.Arrival{Kind: job.ArrivalPoisson, Rate: float64(cfg.Nodes) / 2304.0},
-			Nodes:        [2]int{2, min(64, cfg.Nodes)},
-			MachineNodes: cfg.Nodes,
-			NodeSpeed:    stdNodeSpeed,
-			TypeShares:   shares,
-		})
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		s, err := elastisim.NewSession(elastisim.Config{
-			Platform:  StandardPlatform(cfg.Nodes),
-			Workload:  wl,
-			Algorithm: algo,
-		})
-		if err != nil {
-			return SweepPoint{}, fmt.Errorf("sweep cell (%s, %.2f, %d): %w", c.algorithm, c.share, c.seed, err)
-		}
-		res, err := s.Run(ctx)
-		if err != nil {
-			return SweepPoint{}, fmt.Errorf("sweep cell (%s, %.2f, %d): %w", c.algorithm, c.share, c.seed, err)
-		}
-		if cfg.OnCellDone != nil {
+		p, err := RunCell(ctx, cells[i])
+		if err == nil && cfg.OnCellDone != nil {
 			cfg.OnCellDone()
 		}
-		return SweepPoint{
-			Algorithm:      c.algorithm,
-			MalleableShare: c.share,
-			Seed:           c.seed,
-			Jobs:           cfg.Jobs,
-			Summary:        res.Summary,
-			Events:         res.Events,
-			WallMillis:     res.WallClock.Milliseconds(),
-			Snapshot:       res.Telemetry,
-		}, nil
+		return p, err
 	})
+}
+
+// EncodeCellResult canonicalizes a cell's result for the sweep journal
+// (and the distributed finish call): wall-clock and memory measurements
+// are zeroed — WallMillis and the snapshot's wall/heap fields are the
+// only machine-dependent values in a SweepPoint — so the encoding, and
+// therefore every resumed or distributed sweep's CSV, is a pure function
+// of the grid cell. json.Marshal is deterministic (fixed field order,
+// sorted map keys), which makes "byte-identical to an uninterrupted
+// sequential run" an invariant rather than an aspiration.
+func EncodeCellResult(p SweepPoint) (string, error) {
+	p.WallMillis = 0
+	p.Snapshot = p.Snapshot.StripWall()
+	data, err := json.Marshal(p)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// DecodeCellResult parses a result produced by EncodeCellResult.
+func DecodeCellResult(s string) (SweepPoint, error) {
+	var p SweepPoint
+	if err := json.Unmarshal([]byte(s), &p); err != nil {
+		return SweepPoint{}, fmt.Errorf("decoding cell result: %w", err)
+	}
+	return p, nil
 }
 
 // WriteSweepCSV emits the grid as CSV for external analysis.

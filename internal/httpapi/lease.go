@@ -1,0 +1,259 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/distwork"
+)
+
+// The lease API is the HTTP face of a distwork store: remote workers
+// claim tasks, heartbeat their leases, and return results over the same
+// REST idiom as the session API. It is deliberately payload-generic —
+// the sweep coordinator serves LeaseAPI[experiments.GridCell]; any
+// future distributed consumer of the distwork core gets wire transport
+// for free.
+//
+//	POST /v1/tasks/claim           claim the oldest pending task
+//	GET  /v1/tasks                 list tasks (operator visibility)
+//	POST /v1/tasks/{id}/heartbeat  renew the claim lease
+//	POST /v1/tasks/{id}/finish     settle the task (done or failed)
+//	POST /v1/tasks/{id}/release    return the task to pending
+//
+// Ownership failures map to status codes: 404 for an unknown task, 409
+// for a stale claim (the lease expired and another worker owns the task
+// now — the loser's finish is rejected, exactly-once settlement).
+
+// LeaseAPI serves a distwork store's claim/heartbeat/finish lifecycle
+// over HTTP.
+type LeaseAPI[P any] struct {
+	Store *distwork.Store[P]
+}
+
+// Register installs the lease routes on mux.
+func (a *LeaseAPI[P]) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/tasks/claim", a.handleClaim)
+	mux.HandleFunc("GET /v1/tasks", a.handleList)
+	mux.HandleFunc("POST /v1/tasks/{id}/heartbeat", a.handleHeartbeat)
+	mux.HandleFunc("POST /v1/tasks/{id}/finish", a.handleFinish)
+	mux.HandleFunc("POST /v1/tasks/{id}/release", a.handleRelease)
+}
+
+// claimRequest names the worker asking for work.
+type claimRequest struct {
+	Worker string `json:"worker"`
+}
+
+// claimResponse carries the claimed task (null when none was pending),
+// whether the store has settled (every task terminal — the worker's
+// signal to exit), and the lease the worker must heartbeat within.
+type claimResponse[P any] struct {
+	Task         *distwork.Task[P] `json:"task"`
+	Settled      bool              `json:"settled"`
+	LeaseSeconds float64           `json:"lease_seconds"`
+}
+
+type finishRequest struct {
+	Worker string `json:"worker"`
+	Result string `json:"result"`
+	Error  string `json:"error,omitempty"`
+}
+
+type releaseRequest struct {
+	Worker string `json:"worker"`
+	Note   string `json:"note,omitempty"`
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing body: %v", err)
+		return false
+	}
+	return true
+}
+
+// writeLeaseError maps distwork's ownership errors onto status codes.
+func writeLeaseError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, distwork.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, distwork.ErrNotOwner):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleClaim hands the oldest pending task to the asking worker.
+// Expired leases are collected first (inside TryClaim), so a crashed
+// worker's tasks are stolen here by whichever worker polls next. An
+// empty claim is not an error: the worker backs off and retries until
+// settled says the whole task set is terminal.
+func (a *LeaseAPI[P]) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, "missing worker name")
+		return
+	}
+	resp := claimResponse[P]{LeaseSeconds: a.Store.Lease().Seconds()}
+	if t, ok := a.Store.TryClaim(req.Worker); ok {
+		resp.Task = &t
+	} else {
+		resp.Settled = a.Store.Settled()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *LeaseAPI[P]) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.Store.List())
+}
+
+func (a *LeaseAPI[P]) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := a.Store.Heartbeat(r.PathValue("id"), req.Worker); err != nil {
+		writeLeaseError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleFinish settles a claimed task: done with the worker's encoded
+// result, or failed when the request carries an error message.
+func (a *LeaseAPI[P]) handleFinish(w http.ResponseWriter, r *http.Request) {
+	var req finishRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	id := r.PathValue("id")
+	var err error
+	if req.Error != "" {
+		err = a.Store.Finish(id, req.Worker, req.Result, errors.New(req.Error))
+	} else {
+		err = a.Store.Finish(id, req.Worker, req.Result, nil)
+	}
+	if err != nil {
+		writeLeaseError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (a *LeaseAPI[P]) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := a.Store.Release(r.PathValue("id"), req.Worker, req.Note); err != nil {
+		writeLeaseError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// LeaseClient is the worker-side counterpart of LeaseAPI: typed claim/
+// heartbeat/finish/release calls against a coordinator's base URL.
+type LeaseClient[P any] struct {
+	// Base is the coordinator's URL, e.g. "http://127.0.0.1:9180".
+	Base string
+	// HTTP overrides the http.Client (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *LeaseClient[P]) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON body and decodes a JSON response into out (when
+// non-nil). Non-2xx responses become errors carrying the server's
+// message and an httpStatus the caller can switch on.
+func (c *LeaseClient[P]) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := string(raw)
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &LeaseStatusError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// LeaseStatusError is a non-2xx lease API response.
+type LeaseStatusError struct {
+	Status int
+	Msg    string
+}
+
+func (e *LeaseStatusError) Error() string {
+	return fmt.Sprintf("lease api: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// Claim asks the coordinator for a task. A nil task with settled=false
+// means nothing is pending right now (back off and retry); settled=true
+// means the whole task set is terminal and the worker can exit.
+func (c *LeaseClient[P]) Claim(ctx context.Context, worker string) (task *distwork.Task[P], settled bool, lease time.Duration, err error) {
+	var resp claimResponse[P]
+	if err := c.post(ctx, "/v1/tasks/claim", claimRequest{Worker: worker}, &resp); err != nil {
+		return nil, false, 0, err
+	}
+	return resp.Task, resp.Settled, time.Duration(resp.LeaseSeconds * float64(time.Second)), nil
+}
+
+// Heartbeat renews the worker's lease on the task.
+func (c *LeaseClient[P]) Heartbeat(ctx context.Context, id, worker string) error {
+	return c.post(ctx, "/v1/tasks/"+id+"/heartbeat", claimRequest{Worker: worker}, nil)
+}
+
+// Finish settles the task: done with result, or failed when taskErr is
+// non-empty.
+func (c *LeaseClient[P]) Finish(ctx context.Context, id, worker, result, taskErr string) error {
+	return c.post(ctx, "/v1/tasks/"+id+"/finish", finishRequest{Worker: worker, Result: result, Error: taskErr}, nil)
+}
+
+// Release returns the task to pending with a note.
+func (c *LeaseClient[P]) Release(ctx context.Context, id, worker, note string) error {
+	return c.post(ctx, "/v1/tasks/"+id+"/release", releaseRequest{Worker: worker, Note: note}, nil)
+}

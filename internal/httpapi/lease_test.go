@@ -1,0 +1,244 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/distwork"
+)
+
+type leasePayload struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+}
+
+func newLeaseFixture(t *testing.T, lease time.Duration) (*distwork.Store[leasePayload], *LeaseClient[leasePayload]) {
+	t.Helper()
+	store := distwork.New(distwork.Options[leasePayload]{Lease: lease})
+	t.Cleanup(func() { store.Close() })
+	mux := http.NewServeMux()
+	api := &LeaseAPI[leasePayload]{Store: store}
+	api.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return store, &LeaseClient[leasePayload]{Base: srv.URL, HTTP: srv.Client()}
+}
+
+// TestLeaseRoundTrip drives a full claim/heartbeat/finish cycle over
+// HTTP and pins the wire-level settlement signal.
+func TestLeaseRoundTrip(t *testing.T) {
+	store, client := newLeaseFixture(t, time.Minute)
+	ctx := context.Background()
+
+	// Empty store: no task, not settled... an empty store is settled by
+	// definition (nothing outstanding), which is also the worker's exit
+	// signal when it arrives after the grid completed.
+	task, settled, lease, err := client.Claim(ctx, "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task != nil || !settled {
+		t.Fatalf("empty store claim: task=%v settled=%v", task, settled)
+	}
+	if lease != time.Minute {
+		t.Fatalf("lease: got %v, want 1m", lease)
+	}
+
+	if _, err := store.Submit(leasePayload{Index: 0, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Submit(leasePayload{Index: 1, Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+
+	task, settled, _, err = client.Claim(ctx, "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task == nil || settled {
+		t.Fatalf("claim: task=%v settled=%v", task, settled)
+	}
+	if task.Payload.Index != 0 || task.Payload.Name != "a" || task.Worker != "w1" {
+		t.Fatalf("claimed task: %+v", task)
+	}
+	if err := client.Heartbeat(ctx, task.ID, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Finish(ctx, task.ID, "w1", `{"v":42}`, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := store.Get(task.ID)
+	if got.State != distwork.StateDone || got.Result != `{"v":42}` {
+		t.Fatalf("after finish: %+v", got)
+	}
+
+	// Second task fails remotely.
+	task2, _, _, err := client.Claim(ctx, "w1")
+	if err != nil || task2 == nil {
+		t.Fatalf("claim 2: %v %v", task2, err)
+	}
+	if err := client.Finish(ctx, task2.ID, "w1", "", "engine exploded"); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := store.Get(task2.ID)
+	if got2.State != distwork.StateFailed || got2.Error != "engine exploded" {
+		t.Fatalf("after failed finish: %+v", got2)
+	}
+
+	// Everything terminal: the next claim reports settled.
+	task, settled, _, err = client.Claim(ctx, "w1")
+	if err != nil || task != nil || !settled {
+		t.Fatalf("settled claim: task=%v settled=%v err=%v", task, settled, err)
+	}
+}
+
+// TestLeaseOwnershipStatusCodes pins the error mapping: 404 unknown
+// task, 409 stale claim.
+func TestLeaseOwnershipStatusCodes(t *testing.T) {
+	store, client := newLeaseFixture(t, time.Minute)
+	ctx := context.Background()
+
+	err := client.Heartbeat(ctx, "t999999", "w1")
+	var st *LeaseStatusError
+	if !asLeaseStatus(err, &st) || st.Status != http.StatusNotFound {
+		t.Fatalf("unknown task: %v", err)
+	}
+
+	if _, err := store.Submit(leasePayload{Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	task, _, _, err := client.Claim(ctx, "w1")
+	if err != nil || task == nil {
+		t.Fatalf("claim: %v %v", task, err)
+	}
+	err = client.Finish(ctx, task.ID, "w2", "r", "")
+	if !asLeaseStatus(err, &st) || st.Status != http.StatusConflict {
+		t.Fatalf("foreign finish: %v", err)
+	}
+	// The rightful owner still settles fine.
+	if err := client.Finish(ctx, task.ID, "w1", "r", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaseStealOverHTTP exercises the distributed work-stealing path: a
+// worker claims over HTTP and dies silently; after lease expiry another
+// worker claims the same task, and the dead worker's late finish is
+// rejected with 409.
+func TestLeaseStealOverHTTP(t *testing.T) {
+	store, client := newLeaseFixture(t, 30*time.Millisecond)
+	ctx := context.Background()
+	if _, err := store.Submit(leasePayload{Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	task, _, _, err := client.Claim(ctx, "w-dead")
+	if err != nil || task == nil {
+		t.Fatalf("claim: %v %v", task, err)
+	}
+	// w-dead never heartbeats. Poll until the lease lapses and w-live
+	// steals the task.
+	deadline := time.Now().Add(5 * time.Second)
+	var stolen *distwork.Task[leasePayload]
+	for {
+		stolen, _, _, err = client.Claim(ctx, "w-live")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stolen != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("steal never happened")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if stolen.ID != task.ID || stolen.Attempts != 2 {
+		t.Fatalf("stolen task: %+v", stolen)
+	}
+	// The dead worker wakes up and tries to finish: exactly-once
+	// settlement rejects it.
+	err = client.Finish(ctx, task.ID, "w-dead", "stale", "")
+	var st *LeaseStatusError
+	if !asLeaseStatus(err, &st) || st.Status != http.StatusConflict {
+		t.Fatalf("stale finish: %v", err)
+	}
+	if err := client.Finish(ctx, task.ID, "w-live", "fresh", ""); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := store.Get(task.ID)
+	if got.Result != "fresh" {
+		t.Fatalf("result: %q, want the stealing worker's", got.Result)
+	}
+}
+
+// TestLeaseRelease pins the graceful-release path and concurrent client
+// safety under -race.
+func TestLeaseRelease(t *testing.T) {
+	store, client := newLeaseFixture(t, time.Minute)
+	ctx := context.Background()
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := store.Submit(leasePayload{Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	task, _, _, err := client.Claim(ctx, "w1")
+	if err != nil || task == nil {
+		t.Fatalf("claim: %v %v", task, err)
+	}
+	if err := client.Release(ctx, task.ID, "w1", "shutting down"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := store.Get(task.ID)
+	if got.State != distwork.StatePending || got.Note != "shutting down" {
+		t.Fatalf("after release: %+v", got)
+	}
+
+	// A small fleet drains the store concurrently.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			for {
+				task, settled, _, err := client.Claim(ctx, name)
+				if err != nil {
+					t.Errorf("claim: %v", err)
+					return
+				}
+				if task == nil {
+					if settled {
+						return
+					}
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if err := client.Finish(ctx, task.ID, name, "ok", ""); err != nil {
+					t.Errorf("finish: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	counts := store.Counts()
+	if counts[distwork.StateDone] != n {
+		t.Fatalf("done: %d, want %d (counts %v)", counts[distwork.StateDone], n, counts)
+	}
+}
+
+func asLeaseStatus(err error, st **LeaseStatusError) bool {
+	if err == nil {
+		return false
+	}
+	e, ok := err.(*LeaseStatusError)
+	if ok {
+		*st = e
+	}
+	return ok
+}

@@ -3,65 +3,52 @@
 // semantics, and a JSONL journal that lets a restarted daemon recover
 // queued and completed jobs without re-running finished work.
 //
-// The lifecycle is a small state machine:
+// Since the work-distribution core was extracted into internal/distwork,
+// this package is a thin specialization of it: a Job is a
+// distwork.Task[json.RawMessage] under its historical field names, the
+// journal keeps its original record shape through a legacy Codec (old
+// daemon journals replay unchanged), and the metric families keep their
+// elastisimd_* names. The lifecycle state machine, lease/steal contract,
+// and journal format are documented on package distwork.
 //
 //	pending ──claim──▶ claimed ──start──▶ running ◀─pause/resume─▶ paused
 //	   ▲                  │                  │                        │
 //	   └──lease expiry / release────────────┴───────┐                │
 //	                                                 ▼                ▼
 //	                                      done / failed / cancelled (terminal)
-//
-// Claims carry a lease: a worker that stops heartbeating (crashed, hung,
-// killed) loses the job, which returns to pending for another worker.
-// Every transition is journaled; Open replays the journal, requeues jobs
-// that were mid-flight when the previous process died, and keeps terminal
-// jobs (and their result pointers) without re-running them.
 package jobqueue
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"sort"
-	"sync"
 	"time"
 
+	"repro/internal/distwork"
 	"repro/internal/obs"
 )
 
 // State is a job's lifecycle state.
-type State string
+type State = distwork.State
 
 // The job states. Pending jobs are claimable; claimed/running/paused jobs
 // belong to a worker under a lease; done/failed/cancelled are terminal.
 const (
-	StatePending   State = "pending"
-	StateClaimed   State = "claimed"
-	StateRunning   State = "running"
-	StatePaused    State = "paused"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
+	StatePending   = distwork.StatePending
+	StateClaimed   = distwork.StateClaimed
+	StateRunning   = distwork.StateRunning
+	StatePaused    = distwork.StatePaused
+	StateDone      = distwork.StateDone
+	StateFailed    = distwork.StateFailed
+	StateCancelled = distwork.StateCancelled
 )
 
-// Terminal reports whether the state is final.
-func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
-}
-
-// Active reports whether a worker currently owns the job.
-func (s State) Active() bool {
-	return s == StateClaimed || s == StateRunning || s == StatePaused
-}
-
-// Valid reports whether s is one of the defined states.
-func (s State) Valid() bool {
-	switch s {
-	case StatePending, StateClaimed, StateRunning, StatePaused,
-		StateDone, StateFailed, StateCancelled:
-		return true
-	}
-	return false
+// States lists every lifecycle state, in lifecycle order. Exported for
+// consumers that enumerate per-state series (the daemon's /metrics).
+var States = []State{
+	StatePending, StateClaimed, StateRunning, StatePaused,
+	StateDone, StateFailed, StateCancelled,
 }
 
 // Job is one unit of work: an opaque config payload plus lifecycle
@@ -96,6 +83,46 @@ type Job struct {
 	Note string `json:"note,omitempty"`
 }
 
+// task/job conversions: a Job and a distwork.Task[json.RawMessage] are
+// the same record under different field names (Config vs Payload).
+
+func jobOf(t distwork.Task[json.RawMessage]) Job {
+	return Job{
+		ID: t.ID, State: t.State, Config: t.Payload,
+		Submitted: t.Submitted, Started: t.Started, Finished: t.Finished,
+		Worker: t.Worker, Lease: t.Lease, Attempts: t.Attempts,
+		Error: t.Error, Result: t.Result, Note: t.Note,
+	}
+}
+
+func taskOf(j Job) distwork.Task[json.RawMessage] {
+	return distwork.Task[json.RawMessage]{
+		ID: j.ID, State: j.State, Payload: j.Config,
+		Submitted: j.Submitted, Started: j.Started, Finished: j.Finished,
+		Worker: j.Worker, Lease: j.Lease, Attempts: j.Attempts,
+		Error: j.Error, Result: j.Result, Note: j.Note,
+	}
+}
+
+// jobCodec journals records in the pre-distwork shape (the Job struct's
+// JSON: "config", not "payload"), so journals written by older daemons
+// replay unchanged and new journals stay greppable with the same field
+// names operators already know.
+type jobCodec struct{}
+
+func (jobCodec) Encode(t *distwork.Task[json.RawMessage]) ([]byte, error) {
+	j := jobOf(*t)
+	return json.Marshal(&j)
+}
+
+func (jobCodec) Decode(data []byte) (distwork.Task[json.RawMessage], error) {
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return distwork.Task[json.RawMessage]{}, err
+	}
+	return taskOf(j), nil
+}
+
 // Options tunes a Queue.
 type Options struct {
 	// Lease is how long a claim stays valid without a heartbeat
@@ -112,37 +139,31 @@ type Options struct {
 	Flight  *obs.FlightRecorder
 }
 
-func (o Options) withDefaults() Options {
-	if o.Lease <= 0 {
-		o.Lease = 30 * time.Second
+func (o Options) core() distwork.Options[json.RawMessage] {
+	return distwork.Options[json.RawMessage]{
+		Lease:        o.Lease,
+		Now:          o.Now,
+		Metrics:      o.Metrics,
+		Flight:       o.Flight,
+		MetricPrefix: "elastisimd",
+		Noun:         "job",
+		FlightTopic:  "jobqueue",
+		IDPrefix:     "j",
+		Codec:        jobCodec{},
 	}
-	if o.Now == nil {
-		o.Now = time.Now
-	}
-	return o
 }
 
 // Queue is an in-memory job store with optional journal persistence. All
 // methods are safe for concurrent use; hundreds of submitters and a
-// worker pool can share one Queue.
+// worker pool can share one Queue. It is a Job-typed view over a
+// distwork.Store.
 type Queue struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	jobs    map[string]*Job
-	order   []string // submission order
-	seq     uint64
-	journal *journal
-	opts    Options
-	closed  bool
-	m       queueMetrics
+	s *distwork.Store[json.RawMessage]
 }
 
 // New creates a memory-only queue (no journal).
 func New(opts Options) *Queue {
-	q := &Queue{jobs: make(map[string]*Job), opts: opts.withDefaults()}
-	q.cond = sync.NewCond(&q.mu)
-	q.m = newQueueMetrics(q, q.opts)
-	return q
+	return &Queue{s: distwork.New(opts.core())}
 }
 
 // Open creates a queue journaled at path, replaying any existing journal
@@ -151,273 +172,114 @@ func New(opts Options) *Queue {
 // previous process died return to pending. The journal is compacted on
 // open.
 func Open(path string, opts Options) (*Queue, error) {
-	q := New(opts)
-	jobs, maxSeq, err := replayJournal(path)
+	s, err := distwork.Open(path, opts.core())
 	if err != nil {
 		return nil, err
 	}
-	for _, j := range jobs {
-		q.jobs[j.ID] = j
-		q.order = append(q.order, j.ID)
-	}
-	sort.Slice(q.order, func(i, k int) bool {
-		return q.jobs[q.order[i]].Submitted.Before(q.jobs[q.order[k]].Submitted) ||
-			(q.jobs[q.order[i]].Submitted.Equal(q.jobs[q.order[k]].Submitted) &&
-				q.order[i] < q.order[k])
-	})
-	q.seq = maxSeq
-	jr, err := newJournal(path, q.snapshotLocked())
-	if err != nil {
-		return nil, err
-	}
-	jr.fsync = q.m.fsync
-	q.journal = jr
-	return q, nil
+	return &Queue{s: s}, nil
 }
 
-// snapshotLocked returns the current jobs in submission order. Callers
-// must hold q.mu (or have exclusive access, as in Open).
-func (q *Queue) snapshotLocked() []*Job {
-	out := make([]*Job, 0, len(q.order))
-	for _, id := range q.order {
-		out = append(out, q.jobs[id])
+// legacyErr rephrases distwork's structured errors in this package's
+// historical vocabulary, keeping daemon error responses unchanged.
+func legacyErr(err error) error {
+	if err == nil {
+		return nil
 	}
-	return out
-}
-
-// record journals the job's current state and mirrors the transition
-// into the flight recorder. Callers hold q.mu.
-func (q *Queue) record(j *Job) {
-	if q.journal != nil {
-		q.journal.append(j)
+	var nf *distwork.NotFoundError
+	if errors.As(err, &nf) {
+		return fmt.Errorf("jobqueue: no job %s", nf.ID)
 	}
-	if q.m.flight != nil {
-		if j.Worker != "" {
-			q.m.flight.Recordf("jobqueue", "%s -> %s (%s, attempt %d)", j.ID, j.State, j.Worker, j.Attempts)
-		} else {
-			q.m.flight.Recordf("jobqueue", "%s -> %s", j.ID, j.State)
-		}
+	var no *distwork.NotOwnerError
+	if errors.As(err, &no) {
+		return fmt.Errorf("jobqueue: job %s is %s (worker %q), not owned by %q",
+			no.ID, no.State, no.Worker, no.Claimant)
 	}
+	if errors.Is(err, distwork.ErrClosed) {
+		return errors.New("jobqueue: queue is closed")
+	}
+	return err
 }
 
 // Submit enqueues a new job with the given payload and returns it.
 func (q *Queue) Submit(config json.RawMessage) (Job, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return Job{}, fmt.Errorf("jobqueue: queue is closed")
+	t, err := q.s.Submit(append(json.RawMessage(nil), config...))
+	if err != nil {
+		return Job{}, legacyErr(err)
 	}
-	q.seq++
-	j := &Job{
-		ID:        fmt.Sprintf("j%06d", q.seq),
-		State:     StatePending,
-		Config:    append(json.RawMessage(nil), config...),
-		Submitted: q.opts.Now(),
-	}
-	q.jobs[j.ID] = j
-	q.order = append(q.order, j.ID)
-	q.m.submitted.Inc()
-	q.record(j)
-	q.cond.Broadcast()
-	return *j, nil
+	return jobOf(t), nil
 }
 
 // Get returns a copy of the job, if it exists.
 func (q *Queue) Get(id string) (Job, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	j, ok := q.jobs[id]
+	t, ok := q.s.Get(id)
 	if !ok {
 		return Job{}, false
 	}
-	return *j, true
+	return jobOf(t), true
 }
 
 // List returns copies of all jobs in submission order.
 func (q *Queue) List() []Job {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	out := make([]Job, 0, len(q.order))
-	for _, id := range q.order {
-		out = append(out, *q.jobs[id])
+	tasks := q.s.List()
+	out := make([]Job, 0, len(tasks))
+	for _, t := range tasks {
+		out = append(out, jobOf(t))
 	}
 	return out
 }
 
-// expireLocked requeues active jobs whose lease lapsed. Callers hold q.mu.
-func (q *Queue) expireLocked(now time.Time) int {
-	n := 0
-	for _, id := range q.order {
-		j := q.jobs[id]
-		if j.State.Active() && now.After(j.Lease) {
-			j.State = StatePending
-			j.Worker = ""
-			j.Lease = time.Time{}
-			j.Note = "lease expired; requeued"
-			q.record(j)
-			n++
-		}
-	}
-	if n > 0 {
-		q.m.expirations.Add(uint64(n))
-		q.cond.Broadcast()
-	}
-	return n
-}
-
 // ExpireLeases requeues every active job whose lease has lapsed (the
 // worker stopped heartbeating) and reports how many were requeued.
-func (q *Queue) ExpireLeases() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.expireLocked(q.opts.Now())
-}
+func (q *Queue) ExpireLeases() int { return q.s.ExpireLeases() }
 
 // TryClaim claims the oldest pending job for worker, or reports none
 // available. Expired leases are collected first, so a crashed worker's
 // jobs become claimable here.
 func (q *Queue) TryClaim(worker string) (Job, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.tryClaimLocked(worker)
-}
-
-func (q *Queue) tryClaimLocked(worker string) (Job, bool) {
-	now := q.opts.Now()
-	q.expireLocked(now)
-	for _, id := range q.order {
-		j := q.jobs[id]
-		if j.State == StatePending {
-			j.State = StateClaimed
-			j.Worker = worker
-			j.Lease = now.Add(q.opts.Lease)
-			j.Attempts++
-			j.Note = ""
-			q.m.claims.Inc()
-			q.record(j)
-			return *j, true
-		}
+	t, ok := q.s.TryClaim(worker)
+	if !ok {
+		return Job{}, false
 	}
-	return Job{}, false
+	return jobOf(t), true
 }
 
 // Claim blocks until a pending job is available (or ctx is done / the
 // queue closes) and claims it for worker.
 func (q *Queue) Claim(ctx context.Context, worker string) (Job, error) {
-	stop := context.AfterFunc(ctx, func() {
-		q.mu.Lock()
-		q.cond.Broadcast()
-		q.mu.Unlock()
-	})
-	defer stop()
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for {
-		if err := ctx.Err(); err != nil {
-			return Job{}, err
-		}
-		if q.closed {
-			return Job{}, fmt.Errorf("jobqueue: queue is closed")
-		}
-		if j, ok := q.tryClaimLocked(worker); ok {
-			return j, nil
-		}
-		q.cond.Wait()
+	t, err := q.s.Claim(ctx, worker)
+	if err != nil {
+		return Job{}, legacyErr(err)
 	}
-}
-
-// owned fetches the job and verifies worker holds it. Callers hold q.mu.
-func (q *Queue) owned(id, worker string) (*Job, error) {
-	j, ok := q.jobs[id]
-	if !ok {
-		return nil, fmt.Errorf("jobqueue: no job %s", id)
-	}
-	if !j.State.Active() || j.Worker != worker {
-		return nil, fmt.Errorf("jobqueue: job %s is %s (worker %q), not owned by %q", id, j.State, j.Worker, worker)
-	}
-	return j, nil
+	return jobOf(t), nil
 }
 
 // Heartbeat renews worker's lease on the job.
 func (q *Queue) Heartbeat(id, worker string) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	j, err := q.owned(id, worker)
-	if err != nil {
-		return err
-	}
-	j.Lease = q.opts.Now().Add(q.opts.Lease)
-	q.m.heartbeats.Inc()
-	return nil
-}
-
-// setState moves an owned job to the given active state.
-func (q *Queue) setState(id, worker string, s State) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	j, err := q.owned(id, worker)
-	if err != nil {
-		return err
-	}
-	if j.State == s {
-		return nil
-	}
-	j.State = s
-	j.Lease = q.opts.Now().Add(q.opts.Lease)
-	if s == StateRunning && j.Started.IsZero() {
-		j.Started = q.opts.Now()
-	}
-	q.record(j)
-	return nil
+	return legacyErr(q.s.Heartbeat(id, worker))
 }
 
 // MarkRunning transitions a claimed (or paused) job to running.
 func (q *Queue) MarkRunning(id, worker string) error {
-	return q.setState(id, worker, StateRunning)
+	return legacyErr(q.s.MarkRunning(id, worker))
 }
 
 // MarkPaused transitions a running job to paused. The worker keeps the
 // claim and must keep heartbeating.
 func (q *Queue) MarkPaused(id, worker string) error {
-	return q.setState(id, worker, StatePaused)
+	return legacyErr(q.s.MarkPaused(id, worker))
 }
 
 // Finish moves an owned job to a terminal state: done when runErr is nil,
 // failed otherwise. result is an opaque artifact pointer stored on the
 // job and survives journal recovery.
 func (q *Queue) Finish(id, worker, result string, runErr error) error {
-	state := StateDone
-	errMsg := ""
-	if runErr != nil {
-		state = StateFailed
-		errMsg = runErr.Error()
-	}
-	return q.finish(id, worker, state, result, errMsg)
+	return legacyErr(q.s.Finish(id, worker, result, runErr))
 }
 
 // FinishCancelled moves an owned job to cancelled (a cancel request was
 // honored mid-run); result may point at partial artifacts.
 func (q *Queue) FinishCancelled(id, worker, result string) error {
-	return q.finish(id, worker, StateCancelled, result, "")
-}
-
-func (q *Queue) finish(id, worker string, s State, result, errMsg string) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	j, err := q.owned(id, worker)
-	if err != nil {
-		return err
-	}
-	j.State = s
-	j.Worker = ""
-	j.Lease = time.Time{}
-	j.Finished = q.opts.Now()
-	j.Result = result
-	j.Error = errMsg
-	q.m.finished[s].Inc()
-	q.record(j)
-	q.cond.Broadcast()
-	return nil
+	return legacyErr(q.s.FinishCancelled(id, worker, result))
 }
 
 // Release returns an owned job to pending without finishing it — the
@@ -425,20 +287,7 @@ func (q *Queue) finish(id, worker string, s State, result, errMsg string) error 
 // journaled with the transition, so a restarted daemon sees how far the
 // interrupted run got before it re-runs the job.
 func (q *Queue) Release(id, worker, note string) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	j, err := q.owned(id, worker)
-	if err != nil {
-		return err
-	}
-	j.State = StatePending
-	j.Worker = ""
-	j.Lease = time.Time{}
-	j.Note = note
-	q.m.releases.Inc()
-	q.record(j)
-	q.cond.Broadcast()
-	return nil
+	return legacyErr(q.s.Release(id, worker, note))
 }
 
 // Cancel requests cancellation. A pending job is cancelled immediately;
@@ -447,45 +296,14 @@ func (q *Queue) Release(id, worker, note string) error {
 // a terminal job is a no-op. The returned state is the job's state after
 // the call.
 func (q *Queue) Cancel(id string) (State, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	j, ok := q.jobs[id]
-	if !ok {
-		return "", fmt.Errorf("jobqueue: no job %s", id)
-	}
-	if j.State == StatePending {
-		j.State = StateCancelled
-		j.Finished = q.opts.Now()
-		q.m.finished[StateCancelled].Inc()
-		q.record(j)
-	}
-	return j.State, nil
+	st, err := q.s.Cancel(id)
+	return st, legacyErr(err)
 }
 
 // Counts tallies jobs by state.
-func (q *Queue) Counts() map[State]int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	out := make(map[State]int)
-	for _, j := range q.jobs {
-		out[j.State]++
-	}
-	return out
-}
+func (q *Queue) Counts() map[State]int { return q.s.Counts() }
 
 // Close flushes and closes the journal and wakes all blocked Claim calls
 // with an error. Jobs are not mutated: active jobs stay active in the
 // journal and will be requeued by the next Open.
-func (q *Queue) Close() error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return nil
-	}
-	q.closed = true
-	q.cond.Broadcast()
-	if q.journal != nil {
-		return q.journal.close()
-	}
-	return nil
-}
+func (q *Queue) Close() error { return q.s.Close() }

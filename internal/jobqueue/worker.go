@@ -2,11 +2,10 @@ package jobqueue
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"repro/internal/distwork"
 )
 
 // ErrInterrupted is returned by a Runner whose job was interrupted by
@@ -36,76 +35,50 @@ var ErrFinished = errors.New("jobqueue: job already settled by runner")
 // Pool runs claimed jobs on a fixed set of worker goroutines, sized to
 // GOMAXPROCS by default, so hundreds of concurrent submissions share the
 // machine fairly instead of each spawning its own simulation goroutine.
+// It is a thin adapter over distwork.Pool translating this package's
+// Runner contract (Job, jobqueue sentinels) to the core's.
 type Pool struct {
-	queue   *Queue
-	run     Runner
-	workers int
-	busy    atomic.Int64 // workers currently executing a claimed job
-
-	wg sync.WaitGroup
+	p *distwork.Pool[json.RawMessage]
 }
+
+// interruptNote carries a wrapped ErrInterrupted's message across the
+// distwork boundary so the journaled partial-progress note keeps the
+// runner's exact wording.
+type interruptNote struct{ msg string }
+
+func (e *interruptNote) Error() string { return e.msg }
+func (e *interruptNote) Unwrap() error { return distwork.ErrInterrupted }
 
 // NewPool creates a pool of n workers (n <= 0 selects GOMAXPROCS). When
 // the queue carries a metrics registry, the pool exports its size and a
 // live occupancy gauge.
 func NewPool(q *Queue, n int, run Runner) *Pool {
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+	adapted := func(ctx context.Context, _ *distwork.Store[json.RawMessage], t distwork.Task[json.RawMessage]) (string, error) {
+		result, err := run(ctx, q, jobOf(t))
+		switch {
+		case err == nil:
+			return result, nil
+		case errors.Is(err, ErrFinished):
+			return result, distwork.ErrFinished
+		case errors.Is(err, ErrInterrupted):
+			if err.Error() == ErrInterrupted.Error() {
+				return result, distwork.ErrInterrupted
+			}
+			return result, &interruptNote{msg: err.Error()}
+		default:
+			return result, err
+		}
 	}
-	p := &Pool{queue: q, run: run, workers: n}
-	if reg := q.opts.Metrics; reg != nil {
-		reg.Help("elastisimd_workers_busy", "pool workers currently executing a claimed job")
-		reg.Gauge("elastisimd_workers", nil).Set(float64(n))
-		reg.Gauge("elastisimd_workers_busy", func() float64 { return float64(p.busy.Load()) })
-	}
-	return p
+	return &Pool{p: distwork.NewPool(q.s, n, adapted)}
 }
 
 // Workers reports the pool size.
-func (p *Pool) Workers() int { return p.workers }
+func (p *Pool) Workers() int { return p.p.Workers() }
 
 // Start launches the workers. They claim and execute jobs until ctx is
 // cancelled, then settle their current job (release-to-pending on
 // interruption) and exit. Use Wait to block until all workers drained.
-func (p *Pool) Start(ctx context.Context) {
-	for i := 0; i < p.workers; i++ {
-		name := fmt.Sprintf("worker-%d", i)
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			p.work(ctx, name)
-		}()
-	}
-}
+func (p *Pool) Start(ctx context.Context) { p.p.Start(ctx) }
 
 // Wait blocks until every worker exited (after Start's ctx is cancelled).
-func (p *Pool) Wait() { p.wg.Wait() }
-
-func (p *Pool) work(ctx context.Context, name string) {
-	for {
-		job, err := p.queue.Claim(ctx, name)
-		if err != nil {
-			return // ctx done or queue closed
-		}
-		p.busy.Add(1)
-		result, runErr := p.run(ctx, p.queue, job)
-		p.busy.Add(-1)
-		// Settlement errors are tolerated: the only way these transitions
-		// fail is the benign race where the job's lease expired mid-run
-		// and a newer claim owns it — then the newer claim wins.
-		switch {
-		case runErr == nil:
-			_ = p.queue.Finish(job.ID, name, result, nil)
-		case errors.Is(runErr, ErrFinished):
-			// Runner already settled the job (e.g. cancelled).
-		case errors.Is(runErr, ErrInterrupted):
-			note := "interrupted by shutdown; requeued"
-			if msg := runErr.Error(); msg != ErrInterrupted.Error() {
-				note = msg
-			}
-			_ = p.queue.Release(job.ID, name, note)
-		default:
-			_ = p.queue.Finish(job.ID, name, result, runErr)
-		}
-	}
-}
+func (p *Pool) Wait() { p.p.Wait() }
