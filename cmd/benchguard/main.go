@@ -52,6 +52,7 @@ type refFile struct {
 type measurement struct {
 	name   string // "des/BenchmarkScheduleFire"
 	nsOp   float64
+	bytes  float64
 	allocs float64
 	hasMem bool
 }
@@ -111,6 +112,13 @@ func run(_ context.Context) error {
 			status = fmt.Sprintf("FAIL: %g allocs/op exceeds reference %g (+1 tolerance)",
 				m.allocs, rb.After.AllocsPerOp)
 			failures++
+		} else if m.hasMem && m.bytes > rb.After.BytesPerOp+64 {
+			// Bytes per op are host-independent like allocs; the small
+			// absolute tolerance absorbs amortized growth rounding without
+			// letting a reintroduced per-op allocation (48+ bytes) through.
+			status = fmt.Sprintf("FAIL: %g B/op exceeds reference %g (+64 tolerance)",
+				m.bytes, rb.After.BytesPerOp)
+			failures++
 		}
 		fmt.Printf("benchguard: %-40s %10.4g ns/op (ref %.4g)  %s\n",
 			m.name, m.nsOp, rb.After.NsPerOp, status)
@@ -160,10 +168,15 @@ func parseBenchOutput(f io.Reader) ([]measurement, error) {
 		}
 		m := measurement{name: pkg + "/" + name, nsOp: nsOp}
 		for i := 4; i+1 < len(fields); i += 2 {
-			if fields[i+1] == "allocs/op" {
+			switch fields[i+1] {
+			case "allocs/op":
 				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
 					m.allocs = v
 					m.hasMem = true
+				}
+			case "B/op":
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					m.bytes = v
 				}
 			}
 		}

@@ -25,10 +25,10 @@ func TestParseBenchOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []measurement{
-		{name: "des/BenchmarkScheduleCancel", nsOp: 49.15, allocs: 0, hasMem: true},
-		{name: "des/BenchmarkScheduleFire", nsOp: 26.95, allocs: 0, hasMem: true},
-		{name: "des/BenchmarkBacklogFire", nsOp: 150.4, allocs: 0, hasMem: true},
-		{name: "fluid/BenchmarkSolveDisjoint", nsOp: 345.1, allocs: 3, hasMem: true},
+		{name: "des/BenchmarkScheduleCancel", nsOp: 49.15, bytes: 53, allocs: 0, hasMem: true},
+		{name: "des/BenchmarkScheduleFire", nsOp: 26.95, bytes: 0, allocs: 0, hasMem: true},
+		{name: "des/BenchmarkBacklogFire", nsOp: 150.4, bytes: 3, allocs: 0, hasMem: true},
+		{name: "fluid/BenchmarkSolveDisjoint", nsOp: 345.1, bytes: 176, allocs: 3, hasMem: true},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d measurements, want %d: %+v", len(got), len(want), got)

@@ -73,6 +73,8 @@ func run(ctx context.Context) error {
 		lease     = flag.Duration("lease", 30*time.Second, "job lease duration (claims lapse without heartbeats)")
 		accessLog = flag.String("access-log", "", "append one JSON line per request to this file (empty = off)")
 		flightN   = flag.Int("flight", 512, "flight recorder ring size (0 = disabled)")
+		shards    = flag.Int("journal-shards", 0, "hash-shard the job journal across this many files (0 = one file)")
+		groupCmt  = flag.Duration("group-commit", 0, "batch journal fsyncs into one flush per window (0 = fsync every transition)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -91,9 +93,11 @@ func run(ctx context.Context) error {
 		return err
 	}
 	queue, err := jobqueue.Open(filepath.Join(*dataDir, "jobs", "journal.jsonl"), jobqueue.Options{
-		Lease:   *lease,
-		Metrics: reg,
-		Flight:  flight,
+		Lease:         *lease,
+		Metrics:       reg,
+		Flight:        flight,
+		JournalShards: *shards,
+		GroupCommit:   *groupCmt,
 	})
 	if err != nil {
 		return err

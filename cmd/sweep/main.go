@@ -37,6 +37,19 @@
 //
 // The coordinator also serves GET /metrics (sweep_cell_claims_total,
 // sweep_cell_steals_total, sweep_lease_expirations_total, ...).
+//
+// # Million-cell grids
+//
+// The grid is enumerated lazily from a deterministic cursor and, when
+// journaled, settled cells are evicted from memory (the journal holds
+// the results; the final CSV streams them back out), so coordinator
+// memory is O(active cells), not O(grid). Three flags tune the path:
+// -shards N hash-shards the journal across N files, -group-commit d
+// batches fsyncs into one flush per window (appends are still written
+// through, so a process kill loses nothing), and workers pass
+// -lease-batch N to claim/heartbeat/finish N cells per HTTP round-trip
+// with per-item settlement. All default off; -resume migrates a journal
+// between layouts and refuses a journal written for a different grid.
 package main
 
 import (
@@ -52,6 +65,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/elastisim"
 	"repro/internal/cli"
 	"repro/internal/distwork"
 	"repro/internal/experiments"
@@ -75,10 +89,13 @@ func run(ctx context.Context) error {
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		journalPath  = flag.String("journal", "", "journal grid cells to this JSONL file (resumable)")
 		resume       = flag.Bool("resume", false, "continue an existing -journal instead of refusing to overwrite it")
+		shards       = flag.Int("shards", 0, "hash-shard the journal across this many files (0 = one file)")
+		groupCommit  = flag.Duration("group-commit", 0, "batch journal fsyncs into one flush per window (0 = fsync every transition)")
 		serveAddr    = flag.String("serve", "", "coordinator mode: lease cells to HTTP workers on this address")
 		connectURL   = flag.String("connect", "", "worker mode: claim cells from this coordinator URL")
 		workerName   = flag.String("worker-name", "", "worker name in -connect mode (default worker-<pid>)")
 		lease        = flag.Duration("lease", time.Minute, "claim lease for journaled/distributed cells")
+		leaseBatch   = flag.Int("lease-batch", 1, "cells to claim per coordinator round trip in -connect mode")
 	)
 	flag.Parse()
 
@@ -102,7 +119,7 @@ func run(ctx context.Context) error {
 	}
 
 	if *connectURL != "" {
-		return runWorker(ctx, *connectURL, *workerName)
+		return runWorker(ctx, *connectURL, *workerName, *leaseBatch)
 	}
 
 	cfg := experiments.SweepConfig{Jobs: *jobs, Nodes: *nodes, Workers: *workers}
@@ -128,22 +145,62 @@ func run(ctx context.Context) error {
 		prog = &telemetry.CellProgress{W: os.Stderr, Total: cells}
 	}
 
-	var (
-		pts  []experiments.SweepPoint
-		done []bool
-		err  error
-	)
-	switch {
-	case *serveAddr != "":
-		pts, done, err = runCoordinator(ctx, *serveAddr, *journalPath, cfg, *resume, *lease, prog)
-	case *journalPath != "":
-		pts, done, err = runJournaled(ctx, *journalPath, cfg, *resume, *lease, prog)
-	default:
-		if prog != nil {
-			cfg.OnCellDone = prog.CellDone
+	if *serveAddr != "" || *journalPath != "" {
+		gopts := experiments.GridOptions{
+			Workers:     cfg.Workers,
+			Lease:       *lease,
+			Resume:      *resume,
+			Shards:      *shards,
+			GroupCommit: *groupCommit,
+			OnCellDone:  progHook(prog),
 		}
-		pts, done, err = experiments.SweepContext(ctx, cfg)
+		var (
+			grid   *experiments.Grid
+			runErr error
+		)
+		if *serveAddr != "" {
+			grid, runErr = runCoordinator(ctx, *serveAddr, *journalPath, cfg, gopts)
+		} else {
+			grid, runErr = runJournaled(ctx, *journalPath, cfg, gopts)
+		}
+		if prog != nil {
+			prog.Done()
+		}
+		if grid == nil {
+			return runErr
+		}
+		defer grid.Close()
+		if runErr != nil && ctx.Err() == nil {
+			return runErr
+		}
+		// Stream the completed rows out of the journal in cell-index order —
+		// on interrupt that's the partial grid worth flushing; on a clean run
+		// it's everything. Results never pass through a grid-sized slice.
+		var agg *elastisim.TelemetrySnapshot
+		if *telemetryOut != "" {
+			agg = &elastisim.TelemetrySnapshot{}
+		}
+		rows, werr := grid.EmitCSV(os.Stdout, agg)
+		if werr != nil {
+			return werr
+		}
+		if agg != nil {
+			if ferr := writeSnapshot(*telemetryOut, *agg); ferr != nil {
+				return ferr
+			}
+		}
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "sweep: cancelled after %d/%d cells; flushed the completed rows\n", rows, grid.Size())
+			return runErr
+		}
+		fmt.Fprintf(os.Stderr, "sweep: %d cells\n", rows)
+		return nil
 	}
+
+	if prog != nil {
+		cfg.OnCellDone = prog.CellDone
+	}
+	pts, done, err := experiments.SweepContext(ctx, cfg)
 	if prog != nil {
 		prog.Done()
 	}
@@ -158,17 +215,8 @@ func run(ctx context.Context) error {
 		return werr
 	}
 	if *telemetryOut != "" {
-		agg := experiments.AggregateSnapshots(completed)
-		f, ferr := os.Create(*telemetryOut)
-		if ferr != nil {
+		if ferr := writeSnapshot(*telemetryOut, experiments.AggregateSnapshots(completed)); ferr != nil {
 			return ferr
-		}
-		if werr := agg.WriteJSON(f); werr != nil {
-			f.Close()
-			return werr
-		}
-		if cerr := f.Close(); cerr != nil {
-			return cerr
 		}
 	}
 	if err != nil {
@@ -179,39 +227,43 @@ func run(ctx context.Context) error {
 	return nil
 }
 
-// runJournaled runs the grid locally through the distwork journal:
-// killed runs restart with -resume from the first unfinished cell.
-func runJournaled(ctx context.Context, path string, cfg experiments.SweepConfig, resume bool, lease time.Duration, prog *telemetry.CellProgress) ([]experiments.SweepPoint, []bool, error) {
-	grid, err := experiments.OpenGrid(path, cfg, experiments.GridOptions{
-		Workers:    cfg.Workers,
-		Lease:      lease,
-		Resume:     resume,
-		OnCellDone: progHook(prog),
-	})
+func writeSnapshot(path string, agg elastisim.TelemetrySnapshot) error {
+	f, err := os.Create(path)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	defer grid.Close()
-	return grid.Run(ctx)
+	if err := agg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runJournaled runs the grid locally through the distwork journal:
+// killed runs restart with -resume from the first unfinished cell. The
+// returned grid (non-nil whenever the journal opened) is what the
+// caller streams the CSV from.
+func runJournaled(ctx context.Context, path string, cfg experiments.SweepConfig, gopts experiments.GridOptions) (*experiments.Grid, error) {
+	grid, err := experiments.OpenGrid(path, cfg, gopts)
+	if err != nil {
+		return nil, err
+	}
+	return grid, grid.Run(ctx)
 }
 
 // runCoordinator serves the grid's cells to HTTP workers and blocks
 // until every cell is terminal. The coordinator runs no cells itself —
 // it journals claims and results, expires lapsed leases so dead
 // workers' cells get stolen, and exposes sweep_* metrics.
-func runCoordinator(ctx context.Context, addr, path string, cfg experiments.SweepConfig, resume bool, lease time.Duration, prog *telemetry.CellProgress) ([]experiments.SweepPoint, []bool, error) {
+func runCoordinator(ctx context.Context, addr, path string, cfg experiments.SweepConfig, gopts experiments.GridOptions) (*experiments.Grid, error) {
 	reg := obs.NewRegistry()
-	grid, err := experiments.OpenGrid(path, cfg, experiments.GridOptions{
-		Lease:      lease,
-		Resume:     resume,
-		Metrics:    reg,
-		OnCellDone: progHook(prog),
-	})
+	gopts.Metrics = reg
+	grid, err := experiments.OpenGrid(path, cfg, gopts)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	defer grid.Close()
 	store := grid.Store()
+	lease := store.Lease()
 
 	mux := http.NewServeMux()
 	api := &httpapi.LeaseAPI[experiments.GridCell]{Store: store}
@@ -223,12 +275,13 @@ func runCoordinator(ctx context.Context, addr, path string, cfg experiments.Swee
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, err
+		grid.Close()
+		return nil, err
 	}
 	srv := &http.Server{Handler: mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "sweep: coordinator listening on %s (%d cells)\n", ln.Addr(), len(grid.Cells()))
+	fmt.Fprintf(os.Stderr, "sweep: coordinator listening on %s (%d cells)\n", ln.Addr(), grid.Size())
 
 	// Expired leases requeue on a timer so a dead worker's cells return
 	// to pending even when no claim traffic is arriving.
@@ -245,7 +298,7 @@ loop:
 		case waitErr = <-settled:
 			break loop
 		case err := <-serveErr:
-			return nil, nil, fmt.Errorf("coordinator: %w", err)
+			return grid, fmt.Errorf("coordinator: %w", err)
 		}
 	}
 
@@ -259,29 +312,34 @@ loop:
 	defer cancel()
 	_ = srv.Shutdown(shutCtx)
 
-	pts, done, err := grid.Collect()
 	fmt.Fprintf(os.Stderr, "sweep: coordinator settled: cells=%d claims=%d steals=%d lease_expirations=%d\n",
-		len(grid.Cells()),
+		grid.Size(),
 		reg.Counter("sweep_cell_claims_total").Value(),
 		reg.Counter("sweep_cell_steals_total").Value(),
 		reg.Counter("sweep_lease_expirations_total").Value())
-	if err != nil {
-		return pts, done, err
+	if waitErr != nil {
+		if ctx.Err() != nil {
+			return grid, ctx.Err()
+		}
+		return grid, waitErr
 	}
-	if waitErr != nil && ctx.Err() != nil {
-		return pts, done, ctx.Err()
-	}
-	return pts, done, waitErr
+	return grid, grid.Err()
 }
 
 // runWorker claims cells from a coordinator, executes them locally, and
 // returns results, heartbeating at a third of the coordinator's lease.
 // It exits when the coordinator reports the grid settled, keeps polling
 // through empty claims, and tolerates an unreachable coordinator only
-// before first contact (it retries ~10s, then gives up).
-func runWorker(ctx context.Context, base, name string) error {
+// before first contact (it retries ~10s, then gives up). With batch > 1
+// it leases batch cells per round trip and settles them with one
+// finish-batch request — the amortized protocol for grids whose cells
+// are much shorter than a network round trip.
+func runWorker(ctx context.Context, base, name string, batch int) error {
 	if name == "" {
 		name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if batch < 1 {
+		batch = 1
 	}
 	client := &httpapi.LeaseClient[experiments.GridCell]{Base: strings.TrimRight(base, "/")}
 	contacted := false
@@ -291,7 +349,21 @@ func runWorker(ctx context.Context, base, name string) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		task, settled, lease, err := client.Claim(ctx, name)
+		var (
+			tasks   []distwork.Task[experiments.GridCell]
+			settled bool
+			lease   time.Duration
+			err     error
+		)
+		if batch > 1 {
+			tasks, settled, lease, err = client.ClaimBatch(ctx, name, batch)
+		} else {
+			var task *distwork.Task[experiments.GridCell]
+			task, settled, lease, err = client.Claim(ctx, name)
+			if task != nil {
+				tasks = []distwork.Task[experiments.GridCell]{*task}
+			}
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -311,7 +383,7 @@ func runWorker(ctx context.Context, base, name string) error {
 			continue
 		}
 		contacted = true
-		if task == nil {
+		if len(tasks) == 0 {
 			if settled {
 				fmt.Fprintf(os.Stderr, "sweep: worker %s done: %d cells\n", name, cells)
 				return nil
@@ -321,11 +393,104 @@ func runWorker(ctx context.Context, base, name string) error {
 			}
 			continue
 		}
-		if err := runClaimedCell(ctx, client, name, *task, lease); err != nil {
-			return err
+		if batch > 1 {
+			n, err := runClaimedBatch(ctx, client, name, tasks, lease)
+			cells += n
+			if err != nil {
+				return err
+			}
+		} else {
+			if err := runClaimedCell(ctx, client, name, tasks[0], lease); err != nil {
+				return err
+			}
+			cells++
 		}
-		cells++
 	}
+}
+
+// runClaimedBatch executes a batch of leased cells sequentially: one
+// background ticker heartbeats every still-claimed cell in a single
+// request, results accumulate locally, and one finish-batch call
+// settles everything at the end. A stolen cell's 409 is tolerated per
+// item (the newer claim's result wins); an interrupt releases the cells
+// that never ran after delivering the results already computed.
+func runClaimedBatch(ctx context.Context, client *httpapi.LeaseClient[experiments.GridCell], name string, tasks []distwork.Task[experiments.GridCell], lease time.Duration) (int, error) {
+	ids := make([]string, len(tasks))
+	for i, t := range tasks {
+		ids[i] = t.ID
+	}
+	hbCtx, stopHB := context.WithCancel(context.Background())
+	defer stopHB()
+	go func() {
+		tick := time.NewTicker(lease / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				// Per-item errors are expected (finished or stolen cells);
+				// only a dead coordinator stops the ticker.
+				if _, err := client.HeartbeatBatch(hbCtx, name, ids); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	var items []distwork.FinishItem
+	ran := 0
+	for ; ran < len(tasks); ran++ {
+		if ctx.Err() != nil {
+			break
+		}
+		task := tasks[ran]
+		pt, err := experiments.RunCell(ctx, task.Payload)
+		if err != nil {
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				break
+			}
+			items = append(items, distwork.FinishItem{ID: task.ID, Error: err.Error()})
+			continue
+		}
+		enc, err := experiments.EncodeCellResult(pt)
+		if err != nil {
+			stopHB()
+			return 0, err
+		}
+		items = append(items, distwork.FinishItem{ID: task.ID, Result: enc})
+	}
+	stopHB()
+	// Settle with a fresh context: computed results are worth delivering
+	// even when the interrupt arrived mid-batch.
+	finCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := 0
+	if len(items) > 0 {
+		errs, err := client.FinishBatch(finCtx, name, items)
+		if err != nil {
+			return 0, err
+		}
+		for i, ierr := range errs {
+			if ierr == nil {
+				done++
+				continue
+			}
+			var st *httpapi.LeaseStatusError
+			if errors.As(ierr, &st) && st.Status == http.StatusConflict {
+				continue // stolen mid-run; the newer claim wins
+			}
+			return done, fmt.Errorf("finishing cell %s: %w", items[i].ID, ierr)
+		}
+	}
+	if ctx.Err() != nil {
+		// Release the cells that never ran so another worker picks them up
+		// immediately instead of waiting out the lease.
+		for _, task := range tasks[ran:] {
+			_ = client.Release(finCtx, task.ID, name, fmt.Sprintf("worker %s interrupted; requeued", name))
+		}
+		return done, ctx.Err()
+	}
+	return done, nil
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) bool {

@@ -55,6 +55,29 @@ const (
 	ladderMaxRungs = 8
 	// ladderMaxBuckets bounds a single rung's bucket array.
 	ladderMaxBuckets = 1 << 20
+	// ladderBucketPoolCap bounds the recycled-bucket pool. It must cover
+	// the bucket count of a full rung spawn (one bucket per live event) or
+	// steady-state re-bucketing allocates fresh bucket slices on every
+	// spawn; spawns release their source buckets back as they are served,
+	// so the pool is self-sustaining once warm.
+	ladderBucketPoolCap = 4096
+	// ladderBigBucketCap splits recycled buckets into two classes. Spawn
+	// redistribution spreads ~one event per bucket and is happy with any
+	// tiny slice; live pushes accumulate a whole transient cloud into one
+	// bucket per rung step and need their big backing arrays back, or they
+	// regrow an undersized slice to thousands of slots every cycle. The
+	// threshold must sit above the mid-size buckets a child-rung serve
+	// releases, or those pollute the big pool and upgrades keep drawing
+	// too-small bases.
+	ladderBigBucketCap = 1024
+	// ladderBigUpgradeMin is the occupancy from which a live append that
+	// is about to grow a bucket swaps in a recycled big array instead of
+	// letting append reallocate. Below it, doubling a tiny slice is
+	// cheaper than spending one of the few pooled big arrays on a bucket
+	// that may never see more than a handful of events.
+	ladderBigUpgradeMin = 16
+	// ladderBigPoolCap bounds the big-bucket pool.
+	ladderBigPoolCap = 64
 )
 
 type ladderRung struct {
@@ -90,8 +113,10 @@ type ladderQueue struct {
 	rungs    []*ladderRung // outermost (coarsest) first
 	bottom   eventHeap
 	count    int
-	onDrop   func(*Event) // kernel hook: tombstone discarded
-	pool     [][]*Event   // recycled bucket slices
+	onDrop   func(*Event)  // kernel hook: tombstone discarded
+	pool     [][]*Event    // recycled small bucket slices (spawn spreads)
+	bigPool  [][]*Event    // recycled large bucket slices (live accumulation)
+	rungPool []*ladderRung // recycled exhausted rungs (all-nil bucket arrays)
 
 	// Re-bucketing counters, exported through KernelStats for operational
 	// observability. They count structural work (cold paths only — a
@@ -135,10 +160,22 @@ func (l *ladderQueue) Push(ev *Event) {
 // rungInsert places ev into r's bucket idx (already validated >= r.cur).
 func (l *ladderQueue) rungInsert(r *ladderRung, idx int, ev *Event) {
 	ev.index = 0
-	if r.buckets[idx] == nil {
-		r.buckets[idx] = l.grabBucket()
+	b := r.buckets[idx]
+	if b == nil {
+		b = l.grabBucket()
+	} else if len(b) == cap(b) && cap(b) >= ladderBigUpgradeMin {
+		// This bucket is accumulating a transient cloud: the next append
+		// would reallocate. Swap in a strictly larger recycled array so
+		// steady-state accumulation reuses the arrays previous cycles
+		// already grew instead of reallocating every cycle.
+		if big := l.grabBigger(cap(b)); big != nil {
+			big = big[:len(b)]
+			copy(big, b)
+			l.releaseBucket(b, len(b))
+			b = big
+		}
 	}
-	r.buckets[idx] = append(r.buckets[idx], ev)
+	r.buckets[idx] = append(b, ev)
 }
 
 // Peek returns the earliest event without removing it, materialising it
@@ -176,6 +213,7 @@ func (l *ladderQueue) advance() {
 			if r.cur >= len(r.buckets) {
 				l.rungs[n-1] = nil
 				l.rungs = l.rungs[:n-1]
+				l.releaseRung(r)
 				continue
 			}
 			b := r.buckets[r.cur]
@@ -214,7 +252,7 @@ func (l *ladderQueue) serveBucket(b []*Event) {
 		live = append(live, ev)
 	}
 	if len(live) > ladderSpawnThreshold && maxT > minT && len(l.rungs) < ladderMaxRungs {
-		if r := newRung(minT, maxT, len(live)); r != nil {
+		if r := l.newRung(minT, maxT, len(live)); r != nil {
 			l.rungSpawns++
 			l.rungs = append(l.rungs, r)
 			for _, ev := range live {
@@ -258,7 +296,7 @@ func (l *ladderQueue) transferTop() {
 	l.topStart = math.Nextafter(maxT, math.Inf(1))
 	l.topTransfers++
 	if len(live) > ladderTopDumpMin && maxT > minT {
-		if r := newRung(minT, maxT, len(live)); r != nil {
+		if r := l.newRung(minT, maxT, len(live)); r != nil {
 			l.rungSpawns++
 			l.rungs = append(l.rungs, r)
 			for _, ev := range live {
@@ -277,9 +315,10 @@ func (l *ladderQueue) transferTop() {
 }
 
 // newRung builds a rung spanning [minT, maxT] with roughly one bucket per
-// event. It returns nil when the span is too narrow to subdivide in
-// floating point; the caller falls back to the bottom heap.
-func newRung(minT, maxT float64, n int) *ladderRung {
+// event, reusing a recycled rung's storage when one with enough bucket
+// capacity is pooled. It returns nil when the span is too narrow to
+// subdivide in floating point; the caller falls back to the bottom heap.
+func (l *ladderQueue) newRung(minT, maxT float64, n int) *ladderRung {
 	nb := n
 	if nb > ladderMaxBuckets {
 		nb = ladderMaxBuckets
@@ -291,7 +330,61 @@ func newRung(minT, maxT float64, n int) *ladderRung {
 	if width <= 0 || math.IsInf(width, 0) || math.IsNaN(width) {
 		return nil
 	}
-	return &ladderRung{start: minT, width: width, buckets: make([][]*Event, nb)}
+	for i, r := range l.rungPool {
+		if cap(r.buckets) >= nb {
+			k := len(l.rungPool) - 1
+			l.rungPool[i] = l.rungPool[k]
+			l.rungPool[k] = nil
+			l.rungPool = l.rungPool[:k]
+			r.start, r.width, r.cur = minT, width, 0
+			r.buckets = r.buckets[:nb]
+			return r
+		}
+	}
+	// Allocate with power-of-two capacity headroom: spawn sizes drift
+	// upward slowly in steady state (a transient cloud grows by a handful
+	// of events per spawn), and exact-size arrays would make every spawn
+	// a fresh allocation because no recycled rung is ever quite big
+	// enough.
+	capHint := 2
+	for capHint < nb {
+		capHint <<= 1
+	}
+	if capHint > ladderMaxBuckets {
+		capHint = ladderMaxBuckets
+	}
+	return &ladderRung{start: minT, width: width, buckets: make([][]*Event, nb, capHint)}
+}
+
+// releaseRung recycles an exhausted rung so steady-state re-bucketing
+// stops allocating: the rung struct and its bucket array are handed to the
+// next spawn instead of the garbage collector. Served buckets are already
+// nil; skipped empty-but-allocated buckets (Compact can shrink one to
+// length zero in place) go back to the bucket pool. When the pool is full
+// the smaller of the released rung and the smallest pooled one is dropped,
+// so pooled capacities converge upward toward the working set's spawn size.
+func (l *ladderQueue) releaseRung(r *ladderRung) {
+	for i, b := range r.buckets {
+		if b != nil {
+			l.releaseBucket(b, len(b))
+			r.buckets[i] = nil
+		}
+	}
+	r.buckets = r.buckets[:0]
+	r.start, r.width, r.cur = 0, 0, 0
+	if len(l.rungPool) < ladderMaxRungs {
+		l.rungPool = append(l.rungPool, r)
+		return
+	}
+	small := 0
+	for i, p := range l.rungPool {
+		if cap(p.buckets) < cap(l.rungPool[small].buckets) {
+			small = i
+		}
+	}
+	if cap(l.rungPool[small].buckets) < cap(r.buckets) {
+		l.rungPool[small] = r
+	}
 }
 
 // Compact sweeps every tier, dropping all tombstones.
@@ -348,11 +441,57 @@ func (l *ladderQueue) grabBucket() []*Event {
 	return nil
 }
 
-// releaseBucket returns a served bucket's storage to the pool.
+// grabBigger takes the largest recycled big array if it beats min, else
+// leaves the pool untouched and returns nil. An upgrading bucket grows to
+// the full transient-cloud size, so the best base is the biggest one a
+// previous cycle already grew; the scan is bounded by ladderBigPoolCap
+// and upgrades are rare (one per accumulation bucket, not one per push).
+func (l *ladderQueue) grabBigger(min int) []*Event {
+	n := len(l.bigPool)
+	if n == 0 {
+		return nil
+	}
+	best := 0
+	for i, b := range l.bigPool {
+		if cap(b) > cap(l.bigPool[best]) {
+			best = i
+		}
+	}
+	if cap(l.bigPool[best]) <= min {
+		return nil
+	}
+	b := l.bigPool[best]
+	l.bigPool[best] = l.bigPool[n-1]
+	l.bigPool[n-1] = nil
+	l.bigPool = l.bigPool[:n-1]
+	return b
+}
+
+// releaseBucket returns a served bucket's storage to the size-matched pool.
 func (l *ladderQueue) releaseBucket(b []*Event, used int) {
-	if cap(b) == 0 || len(l.pool) >= 256 {
+	if cap(b) == 0 {
 		return
 	}
 	clear(b[:used])
-	l.pool = append(l.pool, b[:0])
+	if cap(b) >= ladderBigBucketCap {
+		if len(l.bigPool) < ladderBigPoolCap {
+			l.bigPool = append(l.bigPool, b[:0])
+			return
+		}
+		// Full: evict the smallest so pooled capacities converge upward
+		// toward the working set's cloud size instead of churning.
+		small := 0
+		for i, p := range l.bigPool {
+			if cap(p) < cap(l.bigPool[small]) {
+				small = i
+			}
+		}
+		if cap(l.bigPool[small]) < cap(b) {
+			l.bigPool[small] = b[:0]
+		}
+		return
+	}
+	if len(l.pool) < ladderBucketPoolCap {
+		l.pool = append(l.pool, b[:0])
+	}
 }

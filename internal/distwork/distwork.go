@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -180,6 +181,42 @@ type Options[P any] struct {
 	// jobqueue specialization plugs in its legacy record shape here so
 	// pre-existing daemon journals replay byte-compatibly.
 	Codec Codec[P]
+	// Shards splits the journal into N hash-sharded files (shard 0 at
+	// path, shard k at path.s00k, each with a layout header line). 0
+	// keeps the legacy single-file format byte-identical. Reopening with
+	// a different count re-shards during the compaction rewrite.
+	Shards int
+	// GroupCommit batches journal fsyncs: appends are flushed to the OS
+	// per transition (a killed process loses nothing) but fsynced once
+	// per window by a background syncer, amortizing the dominant
+	// per-settlement cost. 0 fsyncs every append (legacy).
+	GroupCommit time.Duration
+	// Meta is an opaque fingerprint of the work set stored in sharded
+	// journal headers. Open refuses a journal whose stored meta differs —
+	// the guard that keeps a resumed sweep from silently continuing a
+	// different grid.
+	Meta string
+	// Source, when set, feeds the task sequence lazily instead of
+	// explicit Submits (which are then rejected): the store asks for the
+	// payload of sequence number seq (1-based) on demand, and ok=false
+	// ends the set. Pending source-fed tasks are reproducible from
+	// (Source, seq) and so are not journaled — a task's first journal
+	// record is its first claim — which is what makes a million-task
+	// journal O(progress), not O(tasks). Claims hand out tasks in
+	// sequence order, so after a crash everything past the highest
+	// journaled sequence is simply re-fed.
+	Source func(seq uint64) (P, bool)
+	// Evict drops terminal tasks from memory once journaled (requires
+	// Open): the journal record — whose location is handed to OnSettled —
+	// becomes the only copy of the result, readable via ReadRecord.
+	// Evicted ids keep exactly-once semantics through a settled-sequence
+	// bitmap: a stale worker's finish gets ErrNotOwner, not ErrNotFound.
+	Evict bool
+	// OnSettled, when set with Evict, is called (under the store lock —
+	// do not call back into the store) for every task that reaches a
+	// terminal state, live or during replay, with the journal location
+	// of its authoritative record.
+	OnSettled func(seq uint64, st State, loc RecLoc)
 }
 
 func (o Options[P]) withDefaults() Options[P] {
@@ -234,26 +271,36 @@ type Store[P any] struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	tasks   map[string]*Task[P]
-	order   []string            // submission order
+	order   []string            // submission order (not kept in source/evict mode)
 	okey    map[string]uint64   // id → arrival-order key (claim priority)
 	active  map[string]struct{} // tasks currently under a lease
 	pending pendHeap            // claimable tasks, oldest first
 	nextKey uint64
-	seq     uint64
+	seq     uint64 // highest sequence number assigned (or fed from Source)
 	journal *journal
 	opts    Options[P]
 	closed  bool
 	m       storeMetrics
+
+	prevMeta   string // meta found in the journal before this open
+	sourceDone bool   // Source returned ok=false; the work set is complete
+	// settledSeqs is the evicted-terminal bitmap (bit seq-1): the
+	// exactly-once memory of tasks whose records now live only in the
+	// journal.
+	settledSeqs []uint64
+	evicted     map[State]uint64 // evicted terminal tasks by final state
 }
 
 // New creates a memory-only store (no journal).
 func New[P any](opts Options[P]) *Store[P] {
 	s := &Store[P]{
-		tasks:  make(map[string]*Task[P]),
-		okey:   make(map[string]uint64),
-		active: make(map[string]struct{}),
-		opts:   opts.withDefaults(),
+		tasks:   make(map[string]*Task[P]),
+		okey:    make(map[string]uint64),
+		active:  make(map[string]struct{}),
+		evicted: make(map[State]uint64),
+		opts:    opts.withDefaults(),
 	}
+	s.opts.Evict = false // eviction needs a journal to hold the results
 	s.cond = sync.NewCond(&s.mu)
 	s.m = newStoreMetrics(s, s.opts)
 	return s
@@ -263,10 +310,63 @@ func New[P any](opts Options[P]) *Store[P] {
 // first: terminal tasks are kept (with their result pointers) and are
 // never re-run; tasks that were claimed, running, or paused when the
 // previous process died return to pending. The journal is compacted on
-// open (counted by the <prefix>_journal_compactions_total metric).
+// open (counted by the <prefix>_journal_compactions_total metric) into
+// the layout opts requests — Shards=0 keeps the legacy single file;
+// otherwise the rewrite hash-shards (or re-shards) the records.
+//
+// With Options.Evict the replay itself streams: terminal tasks are
+// never materialized — their compacted records' locations go to
+// OnSettled and their sequence numbers into the settled bitmap — so
+// open memory is O(non-terminal tasks + one location per settled task),
+// not O(tasks).
 func Open[P any](path string, opts Options[P]) (*Store[P], error) {
 	s := New(opts)
-	tasks, maxSeq, err := replayJournal(path, s.opts.Codec, s.opts.IDPrefix)
+	s.opts.Evict = opts.Evict // New strips it; with a journal it is legal
+	lay, err := detectLayout(path)
+	if err != nil {
+		return nil, err
+	}
+	if lay.meta != "" && s.opts.Meta != "" && lay.meta != s.opts.Meta {
+		return nil, fmt.Errorf("distwork: journal %s was written for a different work set", path)
+	}
+	s.prevMeta = lay.meta
+	meta := s.opts.Meta
+	if meta == "" {
+		meta = lay.meta // carry an existing fingerprint forward
+	}
+	cfg := journalConfig{
+		path:    path,
+		sharded: s.opts.Shards > 0,
+		nsh:     s.opts.Shards,
+		meta:    meta,
+		group:   s.opts.GroupCommit,
+	}
+	if cfg.nsh < 1 {
+		cfg.nsh = 1
+	}
+	var jr *journal
+	if s.opts.Evict {
+		jr, err = s.replayStreaming(path, lay, cfg)
+	} else {
+		jr, err = s.replayResident(path, lay, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	jr.fsync = s.m.fsync
+	jr.errs = s.m.journalErrors
+	jr.appends = s.m.journalAppends
+	jr.commits = s.m.groupCommits
+	jr.start()
+	s.journal = jr
+	s.m.compactions.Inc()
+	return s, nil
+}
+
+// replayResident is the classic open: every journaled task is rebuilt
+// in memory, then the journal is compacted to one record per task.
+func (s *Store[P]) replayResident(path string, lay journalLayout, cfg journalConfig) (*journal, error) {
+	tasks, maxSeq, err := replayJournal(path, lay, s.opts.Codec, s.opts.IDPrefix)
 	if err != nil {
 		return nil, err
 	}
@@ -287,23 +387,189 @@ func Open[P any](path string, opts Options[P]) (*Store[P], error) {
 		}
 	}
 	s.seq = maxSeq
+	ids := make([]string, 0, len(s.order))
 	records := make([][]byte, 0, len(s.order))
 	for _, id := range s.order {
 		rec, err := s.opts.Codec.Encode(s.tasks[id])
 		if err != nil {
 			return nil, fmt.Errorf("distwork: encoding journal record for %s: %w", id, err)
 		}
+		ids = append(ids, id)
 		records = append(records, rec)
 	}
-	jr, err := newJournal(path, records)
+	return newJournal(cfg, ids, records)
+}
+
+// replayStreaming is the evicting open: one pass indexes the last
+// record per sequence number (decoded tasks are retained only while
+// non-terminal), a second pass streams the authoritative bytes of
+// terminal records from the old files into the compacted layout —
+// terminal results never live on the heap.
+func (s *Store[P]) replayStreaming(path string, lay journalLayout, cfg journalConfig) (*journal, error) {
+	type rmeta struct {
+		loc      RecLoc
+		state    State
+		terminal bool
+	}
+	var metas []rmeta // indexed seq-1; zero-length loc = never journaled
+	resident := make(map[uint64]*Task[P])
+	var maxSeq uint64
+	err := replayLayout(path, lay, s.opts.Codec, func(t Task[P], loc RecLoc) error {
+		seq, ok := parseSeq(t.ID, s.opts.IDPrefix)
+		if !ok || seq == 0 {
+			return fmt.Errorf("distwork: journal %s: id %q has no sequence number; streaming replay requires dense ids", path, t.ID)
+		}
+		for uint64(len(metas)) < seq {
+			metas = append(metas, rmeta{})
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		metas[seq-1] = rmeta{loc: loc, state: t.State, terminal: t.State.Terminal()}
+		if t.State.Terminal() {
+			delete(resident, seq)
+		} else {
+			cp := t
+			resident[seq] = &cp
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	jr.fsync = s.m.fsync
-	jr.errs = s.m.journalErrors
-	s.journal = jr
-	s.m.compactions.Inc()
-	return s, nil
+
+	// Stream the compaction: fresh records for resident (requeued)
+	// tasks, verbatim bytes for terminal ones.
+	comp, err := newCompactor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	readers := make([]*os.File, lay.nsh)
+	defer func() {
+		for _, f := range readers {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	type settledCB struct {
+		seq uint64
+		st  State
+		loc RecLoc
+	}
+	var settled []settledCB
+	for seq := uint64(1); seq <= maxSeq; seq++ {
+		m := metas[seq-1]
+		if m.loc.Len == 0 && m.state == "" {
+			comp.abort()
+			return nil, fmt.Errorf("distwork: journal %s: no record for sequence %d (hole)", path, seq)
+		}
+		id := fmt.Sprintf("%s%06d", s.opts.IDPrefix, seq)
+		if t, ok := resident[seq]; ok {
+			if t.State.Active() {
+				t.State = StatePending
+				t.Worker = ""
+				t.Lease = time.Time{}
+				t.Note = "recovered after restart; requeued"
+			}
+			rec, err := s.opts.Codec.Encode(t)
+			if err != nil {
+				comp.abort()
+				return nil, fmt.Errorf("distwork: encoding journal record for %s: %w", id, err)
+			}
+			if _, err := comp.add(id, rec); err != nil {
+				comp.abort()
+				return nil, err
+			}
+			continue
+		}
+		if readers[m.loc.Shard] == nil {
+			f, err := os.Open(shardPath(path, m.loc.Shard))
+			if err != nil {
+				comp.abort()
+				return nil, err
+			}
+			readers[m.loc.Shard] = f
+		}
+		raw := make([]byte, m.loc.Len)
+		if _, err := readers[m.loc.Shard].ReadAt(raw, m.loc.Off); err != nil {
+			comp.abort()
+			return nil, fmt.Errorf("distwork: re-reading journal record for %s: %w", id, err)
+		}
+		loc, err := comp.add(id, raw)
+		if err != nil {
+			comp.abort()
+			return nil, err
+		}
+		s.setSettledBit(seq)
+		s.evicted[m.state]++
+		settled = append(settled, settledCB{seq: seq, st: m.state, loc: loc})
+	}
+	jr, err := comp.finish()
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the resident (non-terminal) set in sequence order, which
+	// is arrival order for source-fed stores.
+	seqs := make([]uint64, 0, len(resident))
+	for seq := range resident {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, k int) bool { return seqs[i] < seqs[k] })
+	for _, seq := range seqs {
+		t := resident[seq]
+		s.tasks[t.ID] = t
+		s.okey[t.ID] = s.nextKey
+		s.nextKey++
+		if t.State == StatePending {
+			heap.Push(&s.pending, pendEntry{s.okey[t.ID], t.ID})
+		}
+	}
+	s.seq = maxSeq
+	if s.opts.OnSettled != nil {
+		for _, c := range settled {
+			s.opts.OnSettled(c.seq, c.st, c.loc)
+		}
+	}
+	return jr, nil
+}
+
+// setSettledBit marks seq as settled-and-evicted. Callers hold s.mu (or
+// run during Open, before the store is shared).
+func (s *Store[P]) setSettledBit(seq uint64) {
+	i := (seq - 1) / 64
+	for uint64(len(s.settledSeqs)) <= i {
+		s.settledSeqs = append(s.settledSeqs, 0)
+	}
+	s.settledSeqs[i] |= 1 << ((seq - 1) % 64)
+}
+
+func (s *Store[P]) settledBit(seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	i := (seq - 1) / 64
+	return i < uint64(len(s.settledSeqs)) && s.settledSeqs[i]&(1<<((seq-1)%64)) != 0
+}
+
+// PrevJournalMeta reports the work-set fingerprint found in the journal
+// before this open ("" for a fresh or legacy journal).
+func (s *Store[P]) PrevJournalMeta() string { return s.prevMeta }
+
+// ReadRecord decodes the journal record at loc — the way a consumer of
+// OnSettled streams evicted results back out of the compacted journal.
+func (s *Store[P]) ReadRecord(loc RecLoc) (Task[P], error) {
+	s.mu.Lock()
+	jr := s.journal
+	s.mu.Unlock()
+	if jr == nil {
+		return Task[P]{}, fmt.Errorf("distwork: store has no journal")
+	}
+	raw, err := jr.readRecord(loc)
+	if err != nil {
+		return Task[P]{}, err
+	}
+	return s.opts.Codec.Decode(raw)
 }
 
 // Lease reports the configured lease duration — the heartbeat contract a
@@ -311,14 +577,18 @@ func Open[P any](path string, opts Options[P]) (*Store[P], error) {
 func (s *Store[P]) Lease() time.Duration { return s.opts.Lease }
 
 // record journals the task's current state and mirrors the transition
-// into the flight recorder. Callers hold s.mu.
-func (s *Store[P]) record(t *Task[P]) {
+// into the flight recorder, reporting the record's journal location
+// (ok only when a journal is attached and the append landed). Callers
+// hold s.mu.
+func (s *Store[P]) record(t *Task[P]) (RecLoc, bool) {
+	var loc RecLoc
+	var ok bool
 	if s.journal != nil {
 		rec, err := s.opts.Codec.Encode(t)
 		if err != nil {
 			s.journal.fail(err)
 		} else {
-			s.journal.append(rec)
+			loc, ok = s.journal.append(t.ID, rec)
 		}
 	}
 	if s.m.flight != nil {
@@ -328,14 +598,53 @@ func (s *Store[P]) record(t *Task[P]) {
 			s.m.flight.Recordf(s.opts.FlightTopic, "%s -> %s", t.ID, t.State)
 		}
 	}
+	return loc, ok
+}
+
+// feedLocked pulls tasks from Options.Source until the pending heap
+// holds want claimables or the source is exhausted. Fed tasks are not
+// journaled — they are reproducible from (Source, seq), and claims go
+// out in sequence order, so the journal's highest sequence number is
+// exactly the resume point. Callers hold s.mu.
+func (s *Store[P]) feedLocked(want int) {
+	if s.opts.Source == nil || s.sourceDone {
+		return
+	}
+	for s.pending.Len() < want {
+		p, ok := s.opts.Source(s.seq + 1)
+		if !ok {
+			s.sourceDone = true
+			// The set is now finite and may already be settled; wake
+			// WaitSettled so it can notice.
+			s.cond.Broadcast()
+			return
+		}
+		s.seq++
+		t := &Task[P]{
+			ID:        fmt.Sprintf("%s%06d", s.opts.IDPrefix, s.seq),
+			State:     StatePending,
+			Payload:   p,
+			Submitted: s.opts.Now(),
+		}
+		s.tasks[t.ID] = t
+		s.okey[t.ID] = s.nextKey
+		s.nextKey++
+		heap.Push(&s.pending, pendEntry{s.okey[t.ID], t.ID})
+		s.m.submitted.Inc()
+	}
 }
 
 // Submit enqueues a new task with the given payload and returns it.
+// Stores with a Source reject external submissions — the source owns
+// the sequence.
 func (s *Store[P]) Submit(payload P) (Task[P], error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return Task[P]{}, ErrClosed
+	}
+	if s.opts.Source != nil {
+		return Task[P]{}, fmt.Errorf("distwork: store is source-fed; external submit not allowed")
 	}
 	s.seq++
 	t := &Task[P]{
@@ -345,7 +654,9 @@ func (s *Store[P]) Submit(payload P) (Task[P], error) {
 		Submitted: s.opts.Now(),
 	}
 	s.tasks[t.ID] = t
-	s.order = append(s.order, t.ID)
+	if !s.opts.Evict {
+		s.order = append(s.order, t.ID)
+	}
 	s.okey[t.ID] = s.nextKey
 	s.nextKey++
 	heap.Push(&s.pending, pendEntry{s.okey[t.ID], t.ID})
@@ -366,14 +677,24 @@ func (s *Store[P]) Get(id string) (Task[P], bool) {
 	return *t, true
 }
 
-// List returns copies of all tasks in submission order.
+// List returns copies of all resident tasks in submission order. In
+// source/evict mode that is the non-terminal working set — evicted
+// terminal tasks live only in the journal (ReadRecord).
 func (s *Store[P]) List() []Task[P] {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Task[P], 0, len(s.order))
-	for _, id := range s.order {
-		out = append(out, *s.tasks[id])
+	if s.order != nil {
+		out := make([]Task[P], 0, len(s.order))
+		for _, id := range s.order {
+			out = append(out, *s.tasks[id])
+		}
+		return out
 	}
+	out := make([]Task[P], 0, len(s.tasks))
+	for _, t := range s.tasks {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, k int) bool { return s.okey[out[i].ID] < s.okey[out[k].ID] })
 	return out
 }
 
@@ -437,7 +758,18 @@ func (s *Store[P]) TryClaim(worker string) (Task[P], bool) {
 func (s *Store[P]) tryClaimLocked(worker string) (Task[P], bool) {
 	now := s.opts.Now()
 	s.expireLocked(now)
-	for s.pending.Len() > 0 {
+	return s.claimOneLocked(worker, now)
+}
+
+// claimOneLocked pops the oldest claimable pending task (feeding the
+// source as needed) and claims it. Callers hold s.mu and have already
+// collected expired leases.
+func (s *Store[P]) claimOneLocked(worker string, now time.Time) (Task[P], bool) {
+	for {
+		s.feedLocked(1)
+		if s.pending.Len() == 0 {
+			return Task[P]{}, false
+		}
 		e := s.pending.peek()
 		t := s.tasks[e.id]
 		heap.Pop(&s.pending)
@@ -459,7 +791,35 @@ func (s *Store[P]) tryClaimLocked(worker string) (Task[P], bool) {
 		s.record(t)
 		return *t, true
 	}
-	return Task[P]{}, false
+}
+
+// TryClaimBatch claims up to max pending tasks for worker in one lock
+// acquisition — the server side of the batch lease protocol, amortizing
+// lock traffic and (with group commit) journal fsyncs over the batch.
+// Steal and exactly-once semantics are per task, identical to TryClaim.
+func (s *Store[P]) TryClaimBatch(worker string, max int) []Task[P] {
+	if max < 1 {
+		max = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	now := s.opts.Now()
+	s.expireLocked(now)
+	var out []Task[P]
+	for len(out) < max {
+		t, ok := s.claimOneLocked(worker, now)
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if len(out) > 0 {
+		s.m.batchClaims.Inc()
+	}
+	return out
 }
 
 // Claim blocks until a pending task is available (or ctx is done / the
@@ -487,10 +847,16 @@ func (s *Store[P]) Claim(ctx context.Context, worker string) (Task[P], error) {
 	}
 }
 
-// owned fetches the task and verifies worker holds it. Callers hold s.mu.
+// owned fetches the task and verifies worker holds it. An evicted
+// (settled, journal-only) id reports ErrNotOwner — the stale worker's
+// late transition loses to the settled record, preserving exactly-once
+// even though the task left memory. Callers hold s.mu.
 func (s *Store[P]) owned(id, worker string) (*Task[P], error) {
 	t, ok := s.tasks[id]
 	if !ok {
+		if seq, k := parseSeq(id, s.opts.IDPrefix); k && s.settledBit(seq) {
+			return nil, &NotOwnerError{ID: id, State: StateDone, Claimant: worker}
+		}
 		return nil, &NotFoundError{ID: id}
 	}
 	if !t.State.Active() || t.Worker != worker {
@@ -503,6 +869,10 @@ func (s *Store[P]) owned(id, worker string) (*Task[P], error) {
 func (s *Store[P]) Heartbeat(id, worker string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.heartbeatLocked(id, worker)
+}
+
+func (s *Store[P]) heartbeatLocked(id, worker string) error {
 	t, err := s.owned(id, worker)
 	if err != nil {
 		return err
@@ -510,6 +880,18 @@ func (s *Store[P]) Heartbeat(id, worker string) error {
 	t.Lease = s.opts.Now().Add(s.opts.Lease)
 	s.m.heartbeats.Inc()
 	return nil
+}
+
+// HeartbeatBatch renews worker's lease on every id in one lock
+// acquisition, reporting per-id errors positionally (nil = renewed).
+func (s *Store[P]) HeartbeatBatch(worker string, ids []string) []error {
+	out := make([]error, len(ids))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, id := range ids {
+		out[i] = s.heartbeatLocked(id, worker)
+	}
+	return out
 }
 
 // setState moves an owned task to the given active state.
@@ -565,6 +947,12 @@ func (s *Store[P]) FinishCancelled(id, worker, result string) error {
 func (s *Store[P]) finish(id, worker string, st State, result, errMsg string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	err := s.finishLocked(id, worker, st, result, errMsg)
+	s.cond.Broadcast()
+	return err
+}
+
+func (s *Store[P]) finishLocked(id, worker string, st State, result, errMsg string) error {
 	t, err := s.owned(id, worker)
 	if err != nil {
 		return err
@@ -577,9 +965,48 @@ func (s *Store[P]) finish(id, worker string, st State, result, errMsg string) er
 	t.Error = errMsg
 	delete(s.active, id)
 	s.m.finished[st].Inc()
-	s.record(t)
-	s.cond.Broadcast()
+	loc, journaled := s.record(t)
+	if s.opts.Evict && s.journal != nil {
+		if seq, ok := parseSeq(id, s.opts.IDPrefix); ok {
+			// The journal record is now the authoritative copy; drop the
+			// task from memory and remember only that its sequence settled.
+			s.setSettledBit(seq)
+			s.evicted[st]++
+			delete(s.tasks, id)
+			delete(s.okey, id)
+			if s.opts.OnSettled != nil && journaled {
+				s.opts.OnSettled(seq, st, loc)
+			}
+		}
+	}
 	return nil
+}
+
+// FinishItem is one settlement in a FinishBatch: done with Result when
+// Error is empty, failed otherwise.
+type FinishItem struct {
+	ID     string
+	Result string
+	Error  string
+}
+
+// FinishBatch settles many owned tasks in one lock acquisition — the
+// server side of the batch lease protocol. Per-item errors are
+// positional (nil = settled); the usual stale-claim outcome is a
+// NotOwnerError on just the stolen items.
+func (s *Store[P]) FinishBatch(worker string, items []FinishItem) []error {
+	out := make([]error, len(items))
+	s.mu.Lock()
+	for i, it := range items {
+		st := StateDone
+		if it.Error != "" {
+			st = StateFailed
+		}
+		out[i] = s.finishLocked(it.ID, worker, st, it.Result, it.Error)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return out
 }
 
 // Release returns an owned task to pending without finishing it — the
@@ -609,9 +1036,19 @@ func (s *Store[P]) Cancel(id string) (State, error) {
 	defer s.mu.Unlock()
 	t, ok := s.tasks[id]
 	if !ok {
+		if seq, k := parseSeq(id, s.opts.IDPrefix); k && s.settledBit(seq) {
+			return StateDone, nil // evicted terminal: cancel is a no-op
+		}
 		return "", &NotFoundError{ID: id}
 	}
 	if t.State == StatePending {
+		if s.opts.Source != nil {
+			// Source-fed pending tasks are normally unjournaled (re-fed on
+			// resume from the highest journaled sequence). Journaling this
+			// cancel would advance that watermark past still-unjournaled
+			// earlier tasks, so journal those first — no resume holes.
+			s.journalPendingBelowLocked(id)
+		}
 		t.State = StateCancelled
 		t.Finished = s.opts.Now()
 		s.m.finished[StateCancelled].Inc()
@@ -621,7 +1058,23 @@ func (s *Store[P]) Cancel(id string) (State, error) {
 	return t.State, nil
 }
 
-// Counts tallies tasks by state.
+// journalPendingBelowLocked records every resident pending task with a
+// lower arrival key than id, oldest first. Callers hold s.mu.
+func (s *Store[P]) journalPendingBelowLocked(id string) {
+	limit := s.okey[id]
+	var ids []string
+	for tid, t := range s.tasks {
+		if t.State == StatePending && s.okey[tid] < limit {
+			ids = append(ids, tid)
+		}
+	}
+	sort.Slice(ids, func(i, k int) bool { return s.okey[ids[i]] < s.okey[ids[k]] })
+	for _, tid := range ids {
+		s.record(s.tasks[tid])
+	}
+}
+
+// Counts tallies tasks by state, including evicted terminal tasks.
 func (s *Store[P]) Counts() map[State]int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -629,16 +1082,20 @@ func (s *Store[P]) Counts() map[State]int {
 	for _, t := range s.tasks {
 		out[t.State]++
 	}
+	for st, n := range s.evicted {
+		out[st] += int(n)
+	}
 	return out
 }
 
 // countState tallies tasks currently in state st (sampled at scrape time
 // by the per-state callback gauges — the gauge reads the store the queue
-// already maintains instead of keeping a parallel count).
+// already maintains instead of keeping a parallel count). Evicted
+// terminal tasks stay counted under their final state.
 func (s *Store[P]) countState(st State) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
+	n := int(s.evicted[st])
 	for _, t := range s.tasks {
 		if t.State == st {
 			n++
@@ -647,9 +1104,30 @@ func (s *Store[P]) countState(st State) int {
 	return n
 }
 
+// countJournalShards backs the <prefix>_journal_shard_count gauge.
+func (s *Store[P]) countJournalShards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return 0
+	}
+	return len(s.journal.shards)
+}
+
 // settledLocked reports whether every task is terminal. Callers hold
-// s.mu. An empty store is settled.
+// s.mu. An empty store is settled; a source-fed store is settled only
+// once the source is drained (evicted tasks are terminal by
+// construction).
 func (s *Store[P]) settledLocked() bool {
+	if s.opts.Source != nil && !s.sourceDone {
+		// Probe the source before answering: an empty (or exactly
+		// drained) source must settle even if no claim ever ran to
+		// discover the exhaustion.
+		s.feedLocked(1)
+		if !s.sourceDone {
+			return false
+		}
+	}
 	for _, t := range s.tasks {
 		if !t.State.Terminal() {
 			return false

@@ -384,7 +384,7 @@ func TestJournalErrorCounter(t *testing.T) {
 	// Yank the file descriptor out from under the journal: subsequent
 	// fsyncs fail, the first failure latches and is counted.
 	s.journal.mu.Lock()
-	s.journal.f.Close()
+	s.journal.shards[0].f.Close()
 	s.journal.mu.Unlock()
 	s.Submit(2)
 	s.Submit(3)

@@ -20,17 +20,20 @@ import (
 // jobqueue store exports elastisimd_jobs / elastisimd_job_claims_total /
 // ..., the sweep grid sweep_cells / sweep_cell_claims_total / ...
 type storeMetrics struct {
-	flight        *obs.FlightRecorder
-	submitted     *obs.Counter
-	claims        *obs.Counter
-	steals        *obs.Counter // re-claims of tasks a previous worker held
-	expirations   *obs.Counter
-	heartbeats    *obs.Counter
-	releases      *obs.Counter
-	finished      map[State]*obs.Counter // terminal-state transitions
-	fsync         *obs.Histogram
-	compactions   *obs.Counter // journal rewrites (one per successful Open)
-	journalErrors *obs.Counter // latched journal write failures
+	flight         *obs.FlightRecorder
+	submitted      *obs.Counter
+	claims         *obs.Counter
+	batchClaims    *obs.Counter // claim-batch operations that claimed >= 1 task
+	steals         *obs.Counter // re-claims of tasks a previous worker held
+	expirations    *obs.Counter
+	heartbeats     *obs.Counter
+	releases       *obs.Counter
+	finished       map[State]*obs.Counter // terminal-state transitions
+	fsync          *obs.Histogram
+	compactions    *obs.Counter // journal rewrites (one per successful Open)
+	journalErrors  *obs.Counter // latched journal write failures
+	journalAppends *obs.Counter // records appended across all journal shards
+	groupCommits   *obs.Counter // batched fsync rounds (group-commit mode)
 }
 
 func newStoreMetrics[P any](s *Store[P], o Options[P]) storeMetrics {
@@ -44,17 +47,25 @@ func newStoreMetrics[P any](s *Store[P], o Options[P]) storeMetrics {
 	reg.Help(fmt.Sprintf("%s_%ss_finished_total", p, n), fmt.Sprintf("%ss that reached a terminal state", n))
 	reg.Help(fmt.Sprintf("%s_lease_expirations_total", p), "claims lost to a lapsed lease and requeued")
 	reg.Help(fmt.Sprintf("%s_%s_steals_total", p, n), fmt.Sprintf("%ss re-claimed after a previous worker lost or released them", n))
-	reg.Help(fmt.Sprintf("%s_journal_fsync_seconds", p), "latency of one journaled transition (write+flush+fsync)")
+	reg.Help(fmt.Sprintf("%s_journal_fsync_seconds", p), "latency of one journaled transition (write+flush+fsync) or one group commit")
 	reg.Help(fmt.Sprintf("%s_journal_compactions_total", p), "journal compactions (rewrite to one record per task on open)")
 	reg.Help(fmt.Sprintf("%s_journal_errors_total", p), "journal write failures; after the first the journal stops appending")
+	reg.Help(fmt.Sprintf("%s_journal_shard_count", p), "hash-sharded journal files in the active layout (0 = no journal)")
+	reg.Help(fmt.Sprintf("%s_journal_shard_appends_total", p), "journal records appended across all shards")
+	reg.Help(fmt.Sprintf("%s_journal_group_commits_total", p), "batched journal fsync rounds (group-commit mode)")
+	reg.Help(fmt.Sprintf("%s_%s_batch_claims_total", p, n), "claim-batch operations that handed out at least one "+n)
 	for _, st := range States {
 		st := st
 		reg.Gauge(fmt.Sprintf("%s_%ss{state=%q}", p, n, st), func() float64 {
 			return float64(s.countState(st))
 		})
 	}
+	reg.Gauge(fmt.Sprintf("%s_journal_shard_count", p), func() float64 {
+		return float64(s.countJournalShards())
+	})
 	m.submitted = reg.Counter(fmt.Sprintf("%s_%ss_submitted_total", p, n))
 	m.claims = reg.Counter(fmt.Sprintf("%s_%s_claims_total", p, n))
+	m.batchClaims = reg.Counter(fmt.Sprintf("%s_%s_batch_claims_total", p, n))
 	m.steals = reg.Counter(fmt.Sprintf("%s_%s_steals_total", p, n))
 	m.expirations = reg.Counter(fmt.Sprintf("%s_lease_expirations_total", p))
 	m.heartbeats = reg.Counter(fmt.Sprintf("%s_heartbeats_total", p))
@@ -66,5 +77,7 @@ func newStoreMetrics[P any](s *Store[P], o Options[P]) storeMetrics {
 	m.fsync = reg.Histogram(fmt.Sprintf("%s_journal_fsync_seconds", p), obs.DefLatencyBuckets)
 	m.compactions = reg.Counter(fmt.Sprintf("%s_journal_compactions_total", p))
 	m.journalErrors = reg.Counter(fmt.Sprintf("%s_journal_errors_total", p))
+	m.journalAppends = reg.Counter(fmt.Sprintf("%s_journal_shard_appends_total", p))
+	m.groupCommits = reg.Counter(fmt.Sprintf("%s_journal_group_commits_total", p))
 	return m
 }

@@ -2,11 +2,16 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
+	"repro/elastisim"
 	"repro/internal/distwork"
 	"repro/internal/obs"
 )
@@ -20,6 +25,13 @@ import (
 // coordinator leases cells to HTTP workers (internal/httpapi.LeaseAPI)
 // instead of a local pool, with lease expiry returning a dead worker's
 // cells to the pool for the survivors to steal.
+//
+// The grid never materializes its cells: the store is fed from the
+// CellAt cursor one claim at a time, and journaled grids run in the
+// store's evicting mode — a settled cell's result lives only in the
+// journal, indexed by a per-cell record location. Coordinator memory is
+// O(active leases) + O(one record location per cell), which is what
+// makes million-cell grids feasible.
 
 // GridOptions tunes a journaled grid run.
 type GridOptions struct {
@@ -32,6 +44,12 @@ type GridOptions struct {
 	// it, an existing journal is an error — refusing to silently append a
 	// new sweep onto an old one.
 	Resume bool
+	// Shards splits the journal into this many hash-sharded files
+	// (0 = single legacy file). See distwork.Options.Shards.
+	Shards int
+	// GroupCommit batches journal fsyncs into one flush per window
+	// (0 = fsync every transition). See distwork.Options.GroupCommit.
+	GroupCommit time.Duration
 	// Metrics/Flight attach observability (sweep_* series).
 	Metrics *obs.Registry
 	Flight  *obs.FlightRecorder
@@ -56,8 +74,49 @@ func (o GridOptions) withDefaults() GridOptions {
 // Grid is a sweep grid journaled through a distwork store.
 type Grid struct {
 	store *distwork.Store[GridCell]
-	cells []GridCell
+	cfg   SweepConfig // defaults applied
+	size  int
 	opts  GridOptions
+
+	// Settled-cell index for journaled grids: one state code and journal
+	// record location per cell. This — not the results — is the only
+	// per-cell memory the coordinator holds. Nil for memory-only grids,
+	// whose terminal tasks stay resident in the store.
+	mu     sync.Mutex
+	states []byte // indexed by cell: 0 unsettled, else a cellState code
+	locs   []distwork.RecLoc
+	done   int    // cells settled done
+	badSeq uint64 // journal sequence outside the grid (mismatch evidence)
+}
+
+// cellState codes compress distwork.State to a byte for the per-cell index.
+const (
+	cellUnsettled = byte(iota)
+	cellDone
+	cellFailed
+	cellCancelled
+)
+
+func stateCode(st distwork.State) byte {
+	switch st {
+	case distwork.StateDone:
+		return cellDone
+	case distwork.StateFailed:
+		return cellFailed
+	default:
+		return cellCancelled
+	}
+}
+
+func codeState(c byte) distwork.State {
+	switch c {
+	case cellDone:
+		return distwork.StateDone
+	case cellFailed:
+		return distwork.StateFailed
+	default:
+		return distwork.StateCancelled
+	}
 }
 
 // gridStoreOptions is the one place the sweep specialization of the
@@ -75,51 +134,137 @@ func gridStoreOptions(opts GridOptions) distwork.Options[GridCell] {
 	}
 }
 
+// gridMeta fingerprints the work set a journal was written for: the
+// canonical JSON of the grid-shaping fields. Workers and hooks are
+// execution detail, not identity, so a resume may change them.
+func gridMeta(cfg SweepConfig) string {
+	data, err := json.Marshal(struct {
+		Algorithms []string  `json:"algorithms"`
+		Shares     []float64 `json:"shares"`
+		Seeds      []uint64  `json:"seeds"`
+		Jobs       int       `json:"jobs"`
+		Nodes      int       `json:"nodes"`
+	}{cfg.Algorithms, cfg.Shares, cfg.Seeds, cfg.Jobs, cfg.Nodes})
+	if err != nil {
+		panic(err) // plain slices and ints cannot fail to marshal
+	}
+	return string(data)
+}
+
 // OpenGrid opens (or creates) the grid journal at path for cfg's grid;
 // an empty path makes the grid memory-only (a coordinator that doesn't
-// need restart durability). A fresh journal gets every cell submitted in
-// canonical order. An existing journal requires opts.Resume and must
-// have been written for the same grid — same cells in the same order —
-// otherwise OpenGrid refuses rather than merge incompatible sweeps.
+// need restart durability). Cells are fed to the store lazily from the
+// CellAt cursor — the grid slice is never materialized. An existing
+// journal requires opts.Resume and must have been written for the same
+// grid — same cells in the same order — otherwise OpenGrid refuses
+// rather than merge incompatible sweeps.
 func OpenGrid(path string, cfg SweepConfig, opts GridOptions) (*Grid, error) {
 	opts = opts.withDefaults()
-	cells := GridCells(cfg)
-	var store *distwork.Store[GridCell]
+	dcfg := cfg.withDefaults()
+	size := len(dcfg.Seeds) * len(dcfg.Shares) * len(dcfg.Algorithms)
+	g := &Grid{cfg: dcfg, size: size, opts: opts}
+	sopts := gridStoreOptions(opts)
+	sopts.Source = func(seq uint64) (GridCell, bool) {
+		if seq == 0 || seq > uint64(size) {
+			return GridCell{}, false
+		}
+		return cellAt(dcfg, int(seq)-1), true
+	}
 	if path == "" {
-		store = distwork.New(gridStoreOptions(opts))
-	} else {
-		if _, err := os.Stat(path); err == nil && !opts.Resume {
+		g.store = distwork.New(sopts)
+		return g, nil
+	}
+	existed := false
+	if _, err := os.Stat(path); err == nil {
+		existed = true
+		if !opts.Resume {
 			return nil, fmt.Errorf("journal %s already exists; pass resume to continue it", path)
-		} else if err != nil && !os.IsNotExist(err) {
-			return nil, err
 		}
-		var err error
-		store, err = distwork.Open(path, gridStoreOptions(opts))
-		if err != nil {
-			return nil, err
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	g.states = make([]byte, size)
+	g.locs = make([]distwork.RecLoc, size)
+	// Grids always journal in the headered (sharded) layout, even with a
+	// single shard: the header carries the grid fingerprint that makes
+	// resume-mismatch detection exact. Pre-header legacy journals are
+	// still readable and migrate on open.
+	sopts.Shards = opts.Shards
+	if sopts.Shards < 1 {
+		sopts.Shards = 1
+	}
+	sopts.GroupCommit = opts.GroupCommit
+	sopts.Meta = gridMeta(dcfg)
+	sopts.Evict = true
+	sopts.OnSettled = g.noteSettled
+	store, err := distwork.Open(path, sopts)
+	if err != nil {
+		if strings.Contains(err.Error(), "different work set") {
+			return nil, fmt.Errorf("journal %s: refusing to resume a different sweep (%w)", path, err)
+		}
+		return nil, err
+	}
+	g.store = store
+	if err := g.validateJournal(path, existed); err != nil {
+		store.Close()
+		return nil, err
+	}
+	return g, nil
+}
+
+// noteSettled is the store's OnSettled hook: it records the journal
+// location of a cell's terminal record in the per-cell index. Called
+// under the store lock (both at replay and at finish), so it must not
+// call back into the store.
+func (g *Grid) noteSettled(seq uint64, st distwork.State, loc distwork.RecLoc) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if seq == 0 || seq > uint64(g.size) {
+		if g.badSeq == 0 {
+			g.badSeq = seq
+		}
+		return
+	}
+	i := int(seq) - 1
+	if g.states[i] == cellUnsettled && st == distwork.StateDone {
+		g.done++
+	}
+	g.states[i] = stateCode(st)
+	g.locs[i] = loc
+}
+
+// validateJournal refuses to resume a journal that does not describe
+// cfg's grid. New-style journals carry the grid fingerprint in their
+// shard headers and were checked by distwork.Open; this catches replay
+// evidence of a mismatch (sequences outside the grid) and pre-header
+// legacy journals, whose only identity is their cell set.
+func (g *Grid) validateJournal(path string, existed bool) error {
+	g.mu.Lock()
+	badSeq, settled := g.badSeq, 0
+	for _, c := range g.states {
+		if c != cellUnsettled {
+			settled++
 		}
 	}
-	tasks := store.List()
-	if len(tasks) == 0 {
-		for _, c := range cells {
-			if _, err := store.Submit(c); err != nil {
-				store.Close()
-				return nil, err
-			}
-		}
-	} else {
-		if len(tasks) != len(cells) {
-			store.Close()
-			return nil, fmt.Errorf("journal %s holds %d cells, grid has %d: refusing to resume a different sweep", path, len(tasks), len(cells))
-		}
-		for i, t := range tasks {
-			if t.Payload != cells[i] {
-				store.Close()
-				return nil, fmt.Errorf("journal %s cell %d is %+v, grid expects %+v: refusing to resume a different sweep", path, i, t.Payload, cells[i])
-			}
+	g.mu.Unlock()
+	if badSeq != 0 {
+		return fmt.Errorf("journal %s holds cell sequence %d, grid has %d cells: refusing to resume a different sweep", path, badSeq, g.size)
+	}
+	resident := g.store.List()
+	for _, t := range resident {
+		i := t.Payload.Index
+		if i < 0 || i >= g.size || t.Payload != cellAt(g.cfg, i) {
+			return fmt.Errorf("journal %s cell %+v does not match the grid: refusing to resume a different sweep", path, t.Payload)
 		}
 	}
-	return &Grid{store: store, cells: cells, opts: opts}, nil
+	if existed && g.store.PrevJournalMeta() == "" {
+		// Legacy journal (every cell submitted up front, no fingerprint):
+		// the cell count is the only shape check available.
+		if settled+len(resident) != g.size {
+			return fmt.Errorf("journal %s holds %d cells, grid has %d: refusing to resume a different sweep", path, settled+len(resident), g.size)
+		}
+	}
+	return nil
 }
 
 // Store exposes the underlying distwork store — the coordinator mode
@@ -127,8 +272,25 @@ func OpenGrid(path string, cfg SweepConfig, opts GridOptions) (*Grid, error) {
 // WaitSettled).
 func (g *Grid) Store() *distwork.Store[GridCell] { return g.store }
 
-// Cells returns the grid's cells in canonical order.
-func (g *Grid) Cells() []GridCell { return g.cells }
+// Size returns the number of cells in the grid.
+func (g *Grid) Size() int { return g.size }
+
+// Completed returns how many cells have settled done so far. For
+// memory-only grids it counts the store's terminal tasks.
+func (g *Grid) Completed() int {
+	if g.states == nil {
+		n := 0
+		for _, t := range g.store.List() {
+			if t.State == distwork.StateDone {
+				n++
+			}
+		}
+		return n
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.done
+}
 
 // Close closes the underlying store and journal.
 func (g *Grid) Close() error { return g.store.Close() }
@@ -179,60 +341,146 @@ func (g *Grid) Runner() distwork.Runner[GridCell] {
 }
 
 // Run executes the grid's remaining cells on a local pool and blocks
-// until every cell is terminal or ctx is cancelled, then reports the
-// merged grid like SweepContext: points and done bitmap in cell-index
-// order, with ctx.Err() when the run was cut short. Cells already
-// finished in the journal are not re-run — their results come from the
-// replay.
-func (g *Grid) Run(ctx context.Context) ([]SweepPoint, []bool, error) {
+// until every cell is terminal or ctx is cancelled. Cells already
+// finished in the journal are not re-run. It returns ctx's error when
+// the run was cut short, otherwise the grid's cell error (Err) — nil
+// when every cell completed.
+func (g *Grid) Run(ctx context.Context) error {
 	poolCtx, stopPool := context.WithCancel(ctx)
 	defer stopPool()
-	pool := distwork.NewPool(g.store, resolveWorkers(g.opts.Workers, len(g.cells)), g.Runner())
+	pool := distwork.NewPool(g.store, resolveWorkers(g.opts.Workers, g.size), g.Runner())
 	pool.Start(poolCtx)
 	err := g.store.WaitSettled(ctx)
 	stopPool()
 	pool.Wait()
-	pts, done, cerr := g.Collect()
-	if cerr != nil {
-		return pts, done, cerr
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
 	}
-	if err != nil && ctx.Err() != nil {
-		return pts, done, ctx.Err()
-	}
-	return pts, done, err
+	return g.Err()
 }
+
+// forEachTerminal streams every terminal cell in grid order: journaled
+// grids read each cell's settling record back from the journal (the
+// results are not on the heap); memory grids walk the resident tasks.
+// fn runs with one task at a time — total memory is O(1) per cell.
+func (g *Grid) forEachTerminal(fn func(i int, t distwork.Task[GridCell]) error) error {
+	if g.states == nil {
+		for _, t := range g.store.List() {
+			if !t.State.Terminal() {
+				continue
+			}
+			i := t.Payload.Index
+			if i < 0 || i >= g.size {
+				return fmt.Errorf("journal cell index %d out of range", i)
+			}
+			if err := fn(i, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < g.size; i++ {
+		g.mu.Lock()
+		code, loc := g.states[i], g.locs[i]
+		g.mu.Unlock()
+		if code == cellUnsettled {
+			continue
+		}
+		t, err := g.store.ReadRecord(loc)
+		if err != nil {
+			return fmt.Errorf("cell %d: reading journal record: %w", i, err)
+		}
+		if t.State != codeState(code) {
+			return fmt.Errorf("cell %d: journal record state %s does not match index %s", i, t.State, codeState(code))
+		}
+		if err := fn(i, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Err returns the deterministic cell-failure error: the failed cell
+// with the lowest index, regardless of completion order — the same
+// contract as runIndexedCtx. Nil when no cell failed.
+func (g *Grid) Err() error {
+	var ferr error
+	err := g.forEachTerminal(func(i int, t distwork.Task[GridCell]) error {
+		if t.State == distwork.StateFailed && ferr == nil {
+			ferr = fmt.Errorf("cell %d (%s, %g, %d): %s",
+				i, t.Payload.Algorithm, t.Payload.Share, t.Payload.Seed, t.Error)
+			return errStopIteration
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopIteration) {
+		return err
+	}
+	return ferr
+}
+
+var errStopIteration = errors.New("stop iteration")
 
 // Collect merges the store's terminal cells into grid order: the points
 // slice and done bitmap are indexed by cell, with failed cells reported
-// as the error of the lowest failing index — the same determinism
-// contract as runIndexedCtx, regardless of which worker finished which
-// cell in what order.
+// as the error of the lowest failing index. Collect materializes the
+// whole grid — million-cell callers should stream with EmitCSV instead.
 func (g *Grid) Collect() ([]SweepPoint, []bool, error) {
-	pts := make([]SweepPoint, len(g.cells))
-	done := make([]bool, len(g.cells))
-	errs := make([]error, len(g.cells))
-	for _, t := range g.store.List() {
-		i := t.Payload.Index
-		if i < 0 || i >= len(g.cells) {
-			return nil, nil, fmt.Errorf("journal cell index %d out of range", i)
-		}
+	pts := make([]SweepPoint, g.size)
+	done := make([]bool, g.size)
+	var ferr error
+	err := g.forEachTerminal(func(i int, t distwork.Task[GridCell]) error {
 		switch t.State {
 		case distwork.StateDone:
 			p, err := DecodeCellResult(t.Result)
 			if err != nil {
-				return nil, nil, fmt.Errorf("cell %d: %w", i, err)
+				return fmt.Errorf("cell %d: %w", i, err)
 			}
 			pts[i] = p
 			done[i] = true
 		case distwork.StateFailed:
-			errs[i] = fmt.Errorf("cell %d (%s, %g, %d): %s",
-				i, t.Payload.Algorithm, t.Payload.Share, t.Payload.Seed, t.Error)
+			if ferr == nil {
+				ferr = fmt.Errorf("cell %d (%s, %g, %d): %s",
+					i, t.Payload.Algorithm, t.Payload.Share, t.Payload.Seed, t.Error)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	for _, err := range errs {
+	return pts, done, ferr
+}
+
+// EmitCSV streams the completed cells as CSV rows in grid order —
+// byte-identical to WriteSweepCSV over the collected grid, without ever
+// holding more than one decoded cell. When agg is non-nil each cell's
+// telemetry snapshot is summed into it (the streaming form of
+// AggregateSnapshots). Returns the number of rows written.
+func (g *Grid) EmitCSV(w io.Writer, agg *elastisim.TelemetrySnapshot) (int, error) {
+	if err := writeSweepCSVHeader(w); err != nil {
+		return 0, err
+	}
+	rows := 0
+	err := g.forEachTerminal(func(i int, t distwork.Task[GridCell]) error {
+		if t.State != distwork.StateDone {
+			return nil
+		}
+		p, err := DecodeCellResult(t.Result)
 		if err != nil {
-			return pts, done, err
+			return fmt.Errorf("cell %d: %w", i, err)
 		}
-	}
-	return pts, done, nil
+		if err := writeSweepCSVRow(w, p); err != nil {
+			return err
+		}
+		if agg != nil {
+			agg.Add(p.Snapshot)
+		}
+		rows++
+		return nil
+	})
+	return rows, err
 }

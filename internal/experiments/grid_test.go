@@ -88,7 +88,10 @@ func TestGridRunMatchesSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer grid.Close()
-	pts, gdone, err := grid.Run(context.Background())
+	if err := grid.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	pts, gdone, err := grid.Collect()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,15 +132,14 @@ func TestGridResumeNoRerun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refPts, _, err := refGrid.Run(context.Background())
-	if err != nil {
+	if err := refGrid.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var refCSV bytes.Buffer
+	if _, err := refGrid.EmitCSV(&refCSV, nil); err != nil {
 		t.Fatal(err)
 	}
 	refGrid.Close()
-	var refCSV bytes.Buffer
-	if err := WriteSweepCSV(&refCSV, refPts); err != nil {
-		t.Fatal(err)
-	}
 
 	// Interrupted run: sequential workers, the third cell aborts the ctx
 	// (standing in for the process being killed mid-cell).
@@ -159,9 +161,12 @@ func TestGridResumeNoRerun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, done1, err := grid1.Run(ctx1)
-	if err == nil {
+	if err := grid1.Run(ctx1); err == nil {
 		t.Fatal("interrupted run should report an error")
+	}
+	_, done1, err := grid1.Collect()
+	if err != nil {
+		t.Fatal(err)
 	}
 	grid1.Close()
 	if !done1[0] || !done1[1] || done1[killAt] {
@@ -177,7 +182,10 @@ func TestGridResumeNoRerun(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer grid2.Close()
-	pts, done2, err := grid2.Run(context.Background())
+	if err := grid2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, done2, err := grid2.Collect()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +202,7 @@ func TestGridResumeNoRerun(t *testing.T) {
 		}
 	}
 	var gotCSV bytes.Buffer
-	if err := WriteSweepCSV(&gotCSV, pts); err != nil {
+	if _, err := grid2.EmitCSV(&gotCSV, nil); err != nil {
 		t.Fatal(err)
 	}
 	if gotCSV.String() != refCSV.String() {
@@ -211,7 +219,7 @@ func TestGridRefusesMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := g.Run(context.Background()); err != nil {
+	if err := g.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	g.Close()
@@ -246,9 +254,12 @@ func TestGridFailedCellLowestIndexWins(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer grid.Close()
-	pts, done, err := grid.Run(context.Background())
-	if err == nil || !strings.Contains(err.Error(), "cell 1") {
+	if err := grid.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "cell 1") {
 		t.Fatalf("want lowest failing index in error, got %v", err)
+	}
+	pts, done, err := grid.Collect()
+	if err == nil || !strings.Contains(err.Error(), "cell 1") {
+		t.Fatalf("want lowest failing index from Collect, got %v", err)
 	}
 	if !done[0] || done[1] || !done[2] || done[3] {
 		t.Fatalf("done bitmap: %v", done)

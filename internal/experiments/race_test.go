@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary was built with the race detector;
+// the large-grid smoke skips itself there (it is a memory pin, not a
+// concurrency test, and 50k journaled cells under race take minutes).
+const raceEnabled = true

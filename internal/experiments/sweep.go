@@ -95,24 +95,78 @@ type GridCell struct {
 	Nodes     int     `json:"nodes"`
 }
 
-// GridCells enumerates cfg's grid in canonical order: seed-major, then
-// share, then algorithm — the row order of the emitted CSV.
-func GridCells(cfg SweepConfig) []GridCell {
+// GridSize returns the number of cells in cfg's grid without
+// materializing any of them.
+func GridSize(cfg SweepConfig) int {
 	cfg = cfg.withDefaults()
-	var cells []GridCell
-	for _, seed := range cfg.Seeds {
-		for _, share := range cfg.Shares {
-			for _, name := range cfg.Algorithms {
-				cells = append(cells, GridCell{
-					Index:     len(cells),
-					Algorithm: name,
-					Share:     share,
-					Seed:      seed,
-					Jobs:      cfg.Jobs,
-					Nodes:     cfg.Nodes,
-				})
-			}
-		}
+	return len(cfg.Seeds) * len(cfg.Shares) * len(cfg.Algorithms)
+}
+
+// CellAt returns cell i of cfg's grid — canonical order: seed-major, then
+// share, then algorithm — by O(1) index arithmetic. It is the random-access
+// form of the cursor: CellAt(cfg, i) equals GridCells(cfg)[i] for every
+// valid i, which is what lets million-cell grids be enumerated, resumed,
+// and journaled without ever holding the cell slice on the heap. i must be
+// in [0, GridSize(cfg)).
+func CellAt(cfg SweepConfig, i int) GridCell {
+	return cellAt(cfg.withDefaults(), i)
+}
+
+// cellAt is CellAt for a cfg whose defaults are already applied.
+func cellAt(cfg SweepConfig, i int) GridCell {
+	na, ns := len(cfg.Algorithms), len(cfg.Shares)
+	return GridCell{
+		Index:     i,
+		Algorithm: cfg.Algorithms[i%na],
+		Share:     cfg.Shares[(i/na)%ns],
+		Seed:      cfg.Seeds[i/(na*ns)],
+		Jobs:      cfg.Jobs,
+		Nodes:     cfg.Nodes,
+	}
+}
+
+// CellSeq is a deterministic streaming cursor over a sweep grid in
+// canonical order. It holds the (defaults-applied) config and a position —
+// O(1) memory regardless of grid size — and yields exactly the cells
+// GridCells would have materialized, in the same order.
+type CellSeq struct {
+	cfg  SweepConfig
+	next int
+	size int
+}
+
+// NewCellSeq positions a cursor at cfg's first cell.
+func NewCellSeq(cfg SweepConfig) *CellSeq {
+	cfg = cfg.withDefaults()
+	return &CellSeq{cfg: cfg, size: len(cfg.Seeds) * len(cfg.Shares) * len(cfg.Algorithms)}
+}
+
+// Size returns the total number of cells the cursor spans.
+func (s *CellSeq) Size() int { return s.size }
+
+// Next yields the next cell in canonical order; ok is false once the grid
+// is exhausted.
+func (s *CellSeq) Next() (cell GridCell, ok bool) {
+	if s.next >= s.size {
+		return GridCell{}, false
+	}
+	c := cellAt(s.cfg, s.next)
+	s.next++
+	return c, true
+}
+
+// At returns cell i without moving the cursor.
+func (s *CellSeq) At(i int) GridCell { return cellAt(s.cfg, i) }
+
+// GridCells enumerates cfg's grid in canonical order: seed-major, then
+// share, then algorithm — the row order of the emitted CSV. It slurps the
+// whole grid into a slice; million-cell callers should stream with
+// NewCellSeq / CellAt instead.
+func GridCells(cfg SweepConfig) []GridCell {
+	seq := NewCellSeq(cfg)
+	cells := make([]GridCell, 0, seq.Size())
+	for c, ok := seq.Next(); ok; c, ok = seq.Next() {
+		cells = append(cells, c)
 	}
 	return cells
 }
@@ -188,9 +242,9 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 // cut short, so callers can flush partial grids on interrupt.
 func SweepContext(ctx context.Context, cfg SweepConfig) ([]SweepPoint, []bool, error) {
 	cfg = cfg.withDefaults()
-	cells := GridCells(cfg)
-	return runIndexedCtx(ctx, cfg.Workers, len(cells), func(ctx context.Context, i int) (SweepPoint, error) {
-		p, err := RunCell(ctx, cells[i])
+	size := len(cfg.Seeds) * len(cfg.Shares) * len(cfg.Algorithms)
+	return runIndexedCtx(ctx, cfg.Workers, size, func(ctx context.Context, i int) (SweepPoint, error) {
+		p, err := RunCell(ctx, cellAt(cfg, i))
 		if err == nil && cfg.OnCellDone != nil {
 			cfg.OnCellDone()
 		}
@@ -227,17 +281,27 @@ func DecodeCellResult(s string) (SweepPoint, error) {
 
 // WriteSweepCSV emits the grid as CSV for external analysis.
 func WriteSweepCSV(w io.Writer, pts []SweepPoint) error {
-	if _, err := fmt.Fprintln(w, "algorithm,malleable_share,seed,jobs,makespan,utilization,mean_wait,p95_wait,mean_turnaround,mean_slowdown,reconfigs,completed,killed,sim_events,wall_ms"); err != nil {
+	if err := writeSweepCSVHeader(w); err != nil {
 		return err
 	}
 	for _, p := range pts {
-		s := p.Summary
-		if _, err := fmt.Fprintf(w, "%s,%g,%d,%d,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d,%d\n",
-			p.Algorithm, p.MalleableShare, p.Seed, p.Jobs,
-			s.Makespan, s.Utilization, s.MeanWait, s.P95Wait, s.MeanTurnaround,
-			s.MeanSlowdown, s.Reconfigs, s.Completed, s.Killed, p.Events, p.WallMillis); err != nil {
+		if err := writeSweepCSVRow(w, p); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func writeSweepCSVHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "algorithm,malleable_share,seed,jobs,makespan,utilization,mean_wait,p95_wait,mean_turnaround,mean_slowdown,reconfigs,completed,killed,sim_events,wall_ms")
+	return err
+}
+
+func writeSweepCSVRow(w io.Writer, p SweepPoint) error {
+	s := p.Summary
+	_, err := fmt.Fprintf(w, "%s,%g,%d,%d,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d,%d\n",
+		p.Algorithm, p.MalleableShare, p.Seed, p.Jobs,
+		s.Makespan, s.Utilization, s.MeanWait, s.P95Wait, s.MeanTurnaround,
+		s.MeanSlowdown, s.Reconfigs, s.Completed, s.Killed, p.Events, p.WallMillis)
+	return err
 }

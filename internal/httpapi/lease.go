@@ -21,6 +21,9 @@ import (
 // for free.
 //
 //	POST /v1/tasks/claim           claim the oldest pending task
+//	POST /v1/tasks/claim-batch     claim up to max pending tasks at once
+//	POST /v1/tasks/heartbeat-batch renew many leases in one request
+//	POST /v1/tasks/finish-batch    settle many tasks in one request
 //	GET  /v1/tasks                 list tasks (operator visibility)
 //	POST /v1/tasks/{id}/heartbeat  renew the claim lease
 //	POST /v1/tasks/{id}/finish     settle the task (done or failed)
@@ -28,7 +31,11 @@ import (
 //
 // Ownership failures map to status codes: 404 for an unknown task, 409
 // for a stale claim (the lease expired and another worker owns the task
-// now — the loser's finish is rejected, exactly-once settlement).
+// now — the loser's finish is rejected, exactly-once settlement). The
+// batch endpoints report per-item outcomes with the same status codes:
+// the request itself is 200 as long as it parses, and each item carries
+// its own status — one stolen cell must not fail the other N-1 results
+// travelling in the same request.
 
 // LeaseAPI serves a distwork store's claim/heartbeat/finish lifecycle
 // over HTTP.
@@ -39,6 +46,9 @@ type LeaseAPI[P any] struct {
 // Register installs the lease routes on mux.
 func (a *LeaseAPI[P]) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/tasks/claim", a.handleClaim)
+	mux.HandleFunc("POST /v1/tasks/claim-batch", a.handleClaimBatch)
+	mux.HandleFunc("POST /v1/tasks/heartbeat-batch", a.handleHeartbeatBatch)
+	mux.HandleFunc("POST /v1/tasks/finish-batch", a.handleFinishBatch)
 	mux.HandleFunc("GET /v1/tasks", a.handleList)
 	mux.HandleFunc("POST /v1/tasks/{id}/heartbeat", a.handleHeartbeat)
 	mux.HandleFunc("POST /v1/tasks/{id}/finish", a.handleFinish)
@@ -114,6 +124,104 @@ func (a *LeaseAPI[P]) handleClaim(w http.ResponseWriter, r *http.Request) {
 		resp.Task = &t
 	} else {
 		resp.Settled = a.Store.Settled()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// claimBatchRequest asks for up to Max tasks in one round trip.
+type claimBatchRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// claimBatchResponse carries the claimed tasks (possibly empty) plus the
+// same settled/lease fields as a single claim.
+type claimBatchResponse[P any] struct {
+	Tasks        []distwork.Task[P] `json:"tasks"`
+	Settled      bool               `json:"settled"`
+	LeaseSeconds float64            `json:"lease_seconds"`
+}
+
+type heartbeatBatchRequest struct {
+	Worker string   `json:"worker"`
+	IDs    []string `json:"ids"`
+}
+
+type finishBatchRequest struct {
+	Worker string                `json:"worker"`
+	Items  []distwork.FinishItem `json:"items"`
+}
+
+// batchItemStatus is one item's outcome inside a 200 batch response:
+// the HTTP status the single-task endpoint would have returned.
+type batchItemStatus struct {
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchItemStatus `json:"results"`
+}
+
+// leaseItemStatus maps a per-item distwork error onto the status code
+// the corresponding single-task endpoint would have used.
+func leaseItemStatus(err error) batchItemStatus {
+	switch {
+	case err == nil:
+		return batchItemStatus{Status: http.StatusOK}
+	case errors.Is(err, distwork.ErrNotFound):
+		return batchItemStatus{Status: http.StatusNotFound, Error: err.Error()}
+	case errors.Is(err, distwork.ErrNotOwner):
+		return batchItemStatus{Status: http.StatusConflict, Error: err.Error()}
+	default:
+		return batchItemStatus{Status: http.StatusInternalServerError, Error: err.Error()}
+	}
+}
+
+// handleClaimBatch hands out up to max pending tasks in one request —
+// the amortized form of handleClaim for workers running many short
+// tasks (million-cell sweeps: one round trip per batch, not per cell).
+func (a *LeaseAPI[P]) handleClaimBatch(w http.ResponseWriter, r *http.Request) {
+	var req claimBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, "missing worker name")
+		return
+	}
+	resp := claimBatchResponse[P]{LeaseSeconds: a.Store.Lease().Seconds()}
+	resp.Tasks = a.Store.TryClaimBatch(req.Worker, req.Max)
+	if len(resp.Tasks) == 0 {
+		resp.Settled = a.Store.Settled()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *LeaseAPI[P]) handleHeartbeatBatch(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	errs := a.Store.HeartbeatBatch(req.Worker, req.IDs)
+	resp := batchResponse{Results: make([]batchItemStatus, len(errs))}
+	for i, err := range errs {
+		resp.Results[i] = leaseItemStatus(err)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFinishBatch settles many tasks in one request with per-item
+// outcomes: a stolen task's 409 rides alongside its batch-mates' 200s.
+func (a *LeaseAPI[P]) handleFinishBatch(w http.ResponseWriter, r *http.Request) {
+	var req finishBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	errs := a.Store.FinishBatch(req.Worker, req.Items)
+	resp := batchResponse{Results: make([]batchItemStatus, len(errs))}
+	for i, err := range errs {
+		resp.Results[i] = leaseItemStatus(err)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -240,6 +348,57 @@ func (c *LeaseClient[P]) Claim(ctx context.Context, worker string) (task *distwo
 		return nil, false, 0, err
 	}
 	return resp.Task, resp.Settled, time.Duration(resp.LeaseSeconds * float64(time.Second)), nil
+}
+
+// ClaimBatch asks the coordinator for up to max tasks in one round
+// trip. An empty slice with settled=false means nothing is pending
+// right now; settled=true means the task set is terminal.
+func (c *LeaseClient[P]) ClaimBatch(ctx context.Context, worker string, max int) (tasks []distwork.Task[P], settled bool, lease time.Duration, err error) {
+	var resp claimBatchResponse[P]
+	if err := c.post(ctx, "/v1/tasks/claim-batch", claimBatchRequest{Worker: worker, Max: max}, &resp); err != nil {
+		return nil, false, 0, err
+	}
+	return resp.Tasks, resp.Settled, time.Duration(resp.LeaseSeconds * float64(time.Second)), nil
+}
+
+// batchItemErrors converts a batch response into positional errors:
+// nil for a 200 item, a *LeaseStatusError otherwise. A response whose
+// length does not match n is a protocol error on every position.
+func batchItemErrors(resp batchResponse, n int) []error {
+	out := make([]error, n)
+	if len(resp.Results) != n {
+		for i := range out {
+			out[i] = fmt.Errorf("lease api: batch response has %d results, want %d", len(resp.Results), n)
+		}
+		return out
+	}
+	for i, st := range resp.Results {
+		if st.Status != http.StatusOK {
+			out[i] = &LeaseStatusError{Status: st.Status, Msg: st.Error}
+		}
+	}
+	return out
+}
+
+// HeartbeatBatch renews many leases in one request, returning one error
+// slot per id (nil = renewed).
+func (c *LeaseClient[P]) HeartbeatBatch(ctx context.Context, worker string, ids []string) ([]error, error) {
+	var resp batchResponse
+	if err := c.post(ctx, "/v1/tasks/heartbeat-batch", heartbeatBatchRequest{Worker: worker, IDs: ids}, &resp); err != nil {
+		return nil, err
+	}
+	return batchItemErrors(resp, len(ids)), nil
+}
+
+// FinishBatch settles many tasks in one request, returning one error
+// slot per item (nil = settled; 409 = the task was stolen and the newer
+// claim's result won).
+func (c *LeaseClient[P]) FinishBatch(ctx context.Context, worker string, items []distwork.FinishItem) ([]error, error) {
+	var resp batchResponse
+	if err := c.post(ctx, "/v1/tasks/finish-batch", finishBatchRequest{Worker: worker, Items: items}, &resp); err != nil {
+		return nil, err
+	}
+	return batchItemErrors(resp, len(items)), nil
 }
 
 // Heartbeat renews the worker's lease on the task.

@@ -242,3 +242,110 @@ func asLeaseStatus(err error, st **LeaseStatusError) bool {
 	}
 	return ok
 }
+
+// TestBatchLeaseOverHTTP drives the batched wire protocol end to end:
+// claim-batch hands out oldest-first, heartbeat-batch and finish-batch
+// carry per-item outcomes, and a stolen cell's 409 rides alongside its
+// batch-mates' successes without failing the request.
+func TestBatchLeaseOverHTTP(t *testing.T) {
+	store, client := newLeaseFixture(t, 40*time.Millisecond)
+	ctx := context.Background()
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, err := store.Submit(leasePayload{Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tasks, settled, lease, err := client.ClaimBatch(ctx, "w1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 4 || settled || lease != 40*time.Millisecond {
+		t.Fatalf("claim-batch: %d tasks settled=%v lease=%v", len(tasks), settled, lease)
+	}
+	for i, task := range tasks {
+		if task.Payload.Index != i || task.Worker != "w1" {
+			t.Fatalf("batch order: task %d is %+v", i, task)
+		}
+	}
+	ids := []string{tasks[0].ID, tasks[1].ID, "t999999"}
+	errs, err := client.HeartbeatBatch(ctx, "w1", ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("heartbeat own claims: %v", errs)
+	}
+	var st *LeaseStatusError
+	if !asLeaseStatus(errs[2], &st) || st.Status != http.StatusNotFound {
+		t.Fatalf("heartbeat unknown id: %v", errs[2])
+	}
+
+	// Let every lease lapse; w2 steals the whole batch. w1's late batch
+	// finish gets per-item 409s, w2's wins.
+	deadline := time.Now().Add(5 * time.Second)
+	var stolen []distwork.Task[leasePayload]
+	for {
+		store.ExpireLeases()
+		stolen, _, _, err = client.ClaimBatch(ctx, "w2", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stolen) == n {
+			break
+		}
+		// Partial steals go back so the next round claims all six at once.
+		for _, task := range stolen {
+			if err := client.Release(ctx, task.ID, "w2", "retry full batch"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("steal never happened (last saw %d tasks)", len(stolen))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	items := []distwork.FinishItem{
+		{ID: tasks[0].ID, Result: "stale-0"},
+		{ID: tasks[1].ID, Result: "stale-1"},
+	}
+	lateErrs, err := client.FinishBatch(ctx, "w1", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ierr := range lateErrs {
+		if !asLeaseStatus(ierr, &st) || st.Status != http.StatusConflict {
+			t.Fatalf("stale batch finish item %d: %v", i, ierr)
+		}
+	}
+	var fresh []distwork.FinishItem
+	for _, task := range stolen {
+		fresh = append(fresh, distwork.FinishItem{ID: task.ID, Result: "fresh"})
+	}
+	fresh = append(fresh, distwork.FinishItem{ID: stolen[0].ID, Result: "dup"})
+	freshErrs, err := client.FinishBatch(ctx, "w2", fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if freshErrs[i] != nil {
+			t.Fatalf("fresh batch finish item %d: %v", i, freshErrs[i])
+		}
+	}
+	// The duplicate settle inside the same batch is rejected per item.
+	if !asLeaseStatus(freshErrs[n], &st) || st.Status != http.StatusConflict {
+		t.Fatalf("duplicate finish in batch: %v", freshErrs[n])
+	}
+	if !store.Settled() {
+		t.Fatal("store should be settled")
+	}
+	got, _ := store.Get(tasks[0].ID)
+	if got.Result != "fresh" {
+		t.Fatalf("result: %q, want the stealing worker's", got.Result)
+	}
+	// Settled signal arrives on an empty batch claim.
+	none, settled, _, err := client.ClaimBatch(ctx, "w3", 5)
+	if err != nil || len(none) != 0 || !settled {
+		t.Fatalf("settled claim-batch: %v %v %v", none, settled, err)
+	}
+}

@@ -137,6 +137,12 @@ type Options struct {
 	// (the default) detach observability at zero cost.
 	Metrics *obs.Registry
 	Flight  *obs.FlightRecorder
+	// JournalShards splits the journal across this many hash-sharded
+	// files (0 = single legacy file); GroupCommit batches journal fsyncs
+	// into one flush per window (0 = fsync every transition). See
+	// distwork.Options.Shards and distwork.Options.GroupCommit.
+	JournalShards int
+	GroupCommit   time.Duration
 }
 
 func (o Options) core() distwork.Options[json.RawMessage] {
@@ -145,6 +151,8 @@ func (o Options) core() distwork.Options[json.RawMessage] {
 		Now:          o.Now,
 		Metrics:      o.Metrics,
 		Flight:       o.Flight,
+		Shards:       o.JournalShards,
+		GroupCommit:  o.GroupCommit,
 		MetricPrefix: "elastisimd",
 		Noun:         "job",
 		FlightTopic:  "jobqueue",
